@@ -1,0 +1,285 @@
+//! Gromacs — molecular dynamics (Figs. 12, 13).
+//!
+//! The lignocellulose-rf UEABS case: 3.3 M atoms, reaction-field
+//! electrostatics (no PME), 10 000 MD steps, hybrid MPI×OpenMP with the
+//! developer-recommended 6 threads per rank. Gromacs' own SIMD layer plus
+//! GNU 11's partial SVE support put about 45 % of the force-loop work in
+//! vectorizable form on CTE-Arm (`-DGMX_SIMD=ARM_SVE`); Intel lands most of
+//! it. Domain-decomposition halo volume grows super-linearly once cells
+//! shrink towards the cutoff radius — the cutoff shell spills into
+//! neighbouring cells — which is what erodes the gap at high node counts.
+//!
+//! The paper's unexplained anomaly — the 16-MPI-process run is slow on
+//! *both* machines — is modelled as a domain-decomposition imbalance
+//! penalty at that rank count (a 4×2×2 DD grid mismatched to the triclinic
+//! cell), avoided by the alternative 12-rank × 8-thread configuration the
+//! paper tested (dotted lines in Fig. 13).
+
+use crate::common::{with_job, AppRun, Cluster};
+use arch::cost::KernelProfile;
+use simkit::series::{Figure, Series};
+use simkit::units::{Bytes, Time};
+
+/// The lignocellulose-rf workload model.
+#[derive(Debug, Clone)]
+pub struct Gromacs {
+    /// Atoms (3.3 M).
+    pub atoms: f64,
+    /// Flops per atom per step: ~40 neighbours × 25 flops of LJ/RF pair
+    /// work plus bonded terms, constraints (LINCS/SETTLE) and neighbour
+    /// search amortization.
+    pub flops_per_atom: f64,
+    /// MD integration time step in femtoseconds.
+    pub dt_fs: f64,
+    /// MD steps the benchmark runs.
+    pub total_steps: usize,
+    /// Steps actually simulated (scaled up afterwards).
+    pub steps: usize,
+    /// Non-bonded cutoff radius in nm.
+    pub cutoff_nm: f64,
+    /// Box edge in nm (3.3 M atoms at water-ish density).
+    pub box_nm: f64,
+    /// DD imbalance factor applied at the anomalous 16-rank count.
+    pub dd_anomaly_factor: f64,
+}
+
+impl Gromacs {
+    /// The UEABS lignocellulose-rf test case B.
+    pub fn lignocellulose_rf() -> Self {
+        Self {
+            atoms: 3.3e6,
+            flops_per_atom: 5000.0,
+            dt_fs: 2.0,
+            total_steps: 10_000,
+            steps: 3,
+            cutoff_nm: 1.2,
+            box_nm: 33.0,
+            dd_anomaly_factor: 1.6,
+        }
+    }
+
+    /// Halo-to-local atom ratio for a DD cell of edge `l` nm:
+    /// `((l + 2r)³ − l³) / l³`, capped at the whole system.
+    pub fn halo_ratio(&self, ranks: usize) -> f64 {
+        let l = self.box_nm / (ranks as f64).cbrt();
+        let r = self.cutoff_nm;
+        (((l + 2.0 * r) / l).powi(3) - 1.0).min(26.0)
+    }
+
+    /// Simulate with an explicit rank × thread configuration (the paper's
+    /// default is 6 OpenMP threads per rank; the alternative Fig.-13
+    /// config is 12 ranks × 8 threads per node... of the total).
+    pub fn simulate_config(
+        &self,
+        cluster: Cluster,
+        nodes: usize,
+        ranks_per_node: usize,
+        threads_per_rank: usize,
+    ) -> AppRun {
+        let ranks = nodes * ranks_per_node;
+        let per_rank_atoms = self.atoms / ranks as f64;
+        // Halo atoms are communicated and their pair interactions partly
+        // recomputed locally; both scale with the halo ratio.
+        let halo_ratio = self.halo_ratio(ranks);
+        let compute_atoms = per_rank_atoms * (1.0 + 0.5 * halo_ratio.min(4.0));
+        let force = KernelProfile::dp(
+            "gromacs-forces",
+            compute_atoms * self.flops_per_atom,
+            // Neighbour lists stream from memory: ~56 B per atom per step.
+            compute_atoms * 56.0,
+        )
+        .with_vectorizable(0.45);
+        let halo_bytes = Bytes::new(per_rank_atoms * halo_ratio.min(4.0) * 24.0);
+        let anomaly = if ranks == 16 {
+            self.dd_anomaly_factor
+        } else {
+            1.0
+        };
+
+        let elapsed = with_job(
+            cluster,
+            nodes,
+            ranks_per_node,
+            threads_per_rank,
+            /* gromacs needs GNU 11 */ true,
+            29,
+            |job| {
+                for _ in 0..self.steps {
+                    job.compute(&force);
+                    job.halo(6, halo_bytes);
+                    job.allreduce(Bytes::new(16.0));
+                }
+                job.elapsed()
+            },
+        );
+        let per_step = elapsed.value() / self.steps as f64 * anomaly;
+        AppRun {
+            elapsed: Time::seconds(per_step * self.total_steps as f64),
+            phases: vec![("per-step".into(), Time::seconds(per_step))],
+        }
+    }
+
+    /// Default configuration: 6 OpenMP threads per rank, node-filling.
+    pub fn simulate(&self, cluster: Cluster, nodes: usize) -> AppRun {
+        self.simulate_config(cluster, nodes, 8, 6)
+    }
+
+    /// Days of wall-clock per simulated nanosecond (the y-axis of
+    /// Figs. 12–13). One ns needs `1e6 / dt_fs` steps.
+    pub fn days_per_ns(&self, run: &AppRun) -> f64 {
+        let per_step = run.phase("per-step").expect("per-step recorded").value();
+        let steps_per_ns = 1.0e6 / self.dt_fs;
+        per_step * steps_per_ns / 86_400.0
+    }
+
+    /// Fig. 12 — single-node scalability: x = cores (ranks × 6 threads).
+    pub fn figure12(&self) -> Figure {
+        let mut fig = Figure::new(
+            "fig12",
+            "Gromacs: single-node scalability (6 threads/rank)",
+            "cores",
+            "days per ns",
+        );
+        for cluster in Cluster::BOTH {
+            let mut s = Series::new(cluster.label());
+            for ranks in 1..=8usize {
+                let run = self.simulate_config(cluster, 1, ranks, 6);
+                s.push((ranks * 6) as f64, self.days_per_ns(&run));
+            }
+            fig.series.push(s);
+        }
+        fig
+    }
+
+    /// Fig. 13 — multi-node scalability, plus the alternative 12×8
+    /// configuration as dotted series.
+    pub fn figure13(&self) -> Figure {
+        let mut fig = Figure::new(
+            "fig13",
+            "Gromacs: multi-node scalability",
+            "nodes",
+            "days per ns",
+        );
+        let counts = [1usize, 2, 4, 8, 16, 32, 64, 96, 144, 192];
+        for cluster in Cluster::BOTH {
+            let mut s = Series::new(cluster.label());
+            for &n in &counts {
+                let run = self.simulate(cluster, n);
+                s.push(n as f64, self.days_per_ns(&run));
+            }
+            fig.series.push(s);
+            // The alternative config at the anomalous point (2 nodes).
+            let mut alt = Series::new(format!("{} (12×8 alt)", cluster.label()));
+            for &n in &[1usize, 2, 4] {
+                let run = self.simulate_config(cluster, n, 6, 8);
+                alt.push(n as f64, self.days_per_ns(&run));
+            }
+            fig.series.push(alt);
+        }
+        fig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio(g: &Gromacs, nodes: usize) -> f64 {
+        g.simulate(Cluster::CteArm, nodes).elapsed
+            / g.simulate(Cluster::MareNostrum4, nodes).elapsed
+    }
+
+    #[test]
+    fn single_node_full_ratio_near_3_1() {
+        // Paper: whole node 3.10× slower on CTE-Arm.
+        let g = Gromacs::lignocellulose_rf();
+        let c = g.simulate_config(Cluster::CteArm, 1, 8, 6);
+        let m = g.simulate_config(Cluster::MareNostrum4, 1, 8, 6);
+        let r = c.elapsed / m.elapsed;
+        assert!((r - 3.10).abs() < 0.4, "full-node ratio {r}");
+    }
+
+    #[test]
+    fn six_core_ratio_is_higher_than_full_node() {
+        // Paper: 3.48× at 6 cores vs 3.10× at 48 — the gap shrinks as
+        // MN4's package-wide AVX-512 derate kicks in.
+        let g = Gromacs::lignocellulose_rf();
+        let r6 = g.simulate_config(Cluster::CteArm, 1, 1, 6).elapsed
+            / g.simulate_config(Cluster::MareNostrum4, 1, 1, 6).elapsed;
+        let r48 = g.simulate_config(Cluster::CteArm, 1, 8, 6).elapsed
+            / g.simulate_config(Cluster::MareNostrum4, 1, 8, 6).elapsed;
+        assert!(r6 > r48, "{r6} vs {r48}");
+        assert!((r6 - 3.48).abs() < 0.5, "6-core ratio {r6}");
+    }
+
+    #[test]
+    fn gap_does_not_widen_with_scale() {
+        // Paper: the gap narrows to 1.5× at 144 nodes. Our model keeps it
+        // near ~3× (flat): the DD halo and reductions grow too slowly to
+        // close it — a known deviation recorded in EXPERIMENTS.md. The
+        // shape invariant we hold is that CTE-Arm never falls further
+        // behind with scale.
+        let g = Gromacs::lignocellulose_rf();
+        let r1 = ratio(&g, 1);
+        let r64 = ratio(&g, 64);
+        let r144 = ratio(&g, 144);
+        assert!(r64 <= r1 * 1.05, "gap must not widen: {r1} -> {r64}");
+        assert!(r144 <= r64 * 1.05, "gap must not widen: {r64} -> {r144}");
+        assert!((2.4..=3.3).contains(&r144), "144-node ratio {r144}");
+    }
+
+    #[test]
+    fn sixteen_rank_anomaly_on_both_machines() {
+        let g = Gromacs::lignocellulose_rf();
+        for cluster in Cluster::BOTH {
+            // 2 nodes × 8 ranks = 16 ranks: the anomalous configuration.
+            let bad = g.simulate(cluster, 2);
+            let alt = g.simulate_config(cluster, 2, 6, 8); // 12 ranks × 8 thr
+            let bad_rate = g.days_per_ns(&bad);
+            let alt_rate = g.days_per_ns(&alt);
+            assert!(
+                bad_rate > 1.25 * alt_rate,
+                "{cluster:?}: 16-rank run must be anomalous ({bad_rate} vs {alt_rate})"
+            );
+        }
+    }
+
+    #[test]
+    fn alternative_config_follows_the_trend() {
+        // The 12×8 point at 2 nodes sits between the 1- and 4-node default
+        // points (it "follows the scalability trend").
+        let g = Gromacs::lignocellulose_rf();
+        let d1 = g.days_per_ns(&g.simulate(Cluster::CteArm, 1));
+        let d4 = g.days_per_ns(&g.simulate(Cluster::CteArm, 4));
+        let alt2 = g.days_per_ns(&g.simulate_config(Cluster::CteArm, 2, 6, 8));
+        assert!(alt2 < d1 && alt2 > d4, "{d1} > {alt2} > {d4}");
+    }
+
+    #[test]
+    fn halo_ratio_grows_as_cells_shrink() {
+        let g = Gromacs::lignocellulose_rf();
+        let few = g.halo_ratio(48);
+        let many = g.halo_ratio(9216);
+        assert!(many > 2.0 * few, "{few} -> {many}");
+    }
+
+    #[test]
+    fn days_per_ns_is_physical() {
+        let g = Gromacs::lignocellulose_rf();
+        let run = g.simulate(Cluster::MareNostrum4, 16);
+        let d = g.days_per_ns(&run);
+        // A 3.3 M-atom RF system on 16 nodes: between an hour and a few
+        // days per ns.
+        assert!(d > 0.01 && d < 10.0, "days/ns {d}");
+    }
+
+    #[test]
+    fn figures_are_well_formed() {
+        let g = Gromacs::lignocellulose_rf();
+        let f12 = g.figure12();
+        assert_eq!(f12.series.len(), 2);
+        assert_eq!(f12.series[0].points.len(), 8);
+        let f13 = g.figure13();
+        assert_eq!(f13.series.len(), 4, "default + alt per machine");
+    }
+}

@@ -1,0 +1,199 @@
+//! NEMO — ocean modelling (Fig. 11).
+//!
+//! The BENCH configuration at ORCA1-like resolution: a structured C-grid
+//! ocean time step. NEMO's step is a long sequence of ~100 3-D loops —
+//! advection, diffusion, pressure, thermodynamics — that mix indexed,
+//! poorly-vectorized arithmetic (GNU on A64FX leaves it scalar) with
+//! genuinely streaming traffic, plus dozens of small `MPI_Allreduce` calls
+//! for stability diagnostics. The compute:stream mix below (calibrated
+//! 53:47 on MareNostrum 4) yields the paper's 1.70–1.79× gap; the
+//! per-step reductions produce the strong-scaling flattening the paper
+//! sees around 128 CTE-Arm nodes.
+
+use crate::common::{with_job, AppRun, Cluster};
+use arch::cost::KernelProfile;
+use simkit::series::{Figure, Series};
+use simkit::units::Bytes;
+
+/// The NEMO BENCH (ORCA1-like) workload model.
+#[derive(Debug, Clone)]
+pub struct Nemo {
+    /// Grid points including vertical levels (600 × 500 × 75).
+    pub grid_points: f64,
+    /// Vertical levels.
+    pub levels: usize,
+    /// Indexed compute flops per grid point per step.
+    pub flops_per_point: f64,
+    /// Streaming bytes per grid point per step.
+    pub bytes_per_point: f64,
+    /// Diagnostic reductions per step.
+    pub allreduces_per_step: usize,
+    /// Simulated steps per run (scaled to the benchmark's 1000).
+    pub steps: usize,
+    /// Benchmark steps the run represents.
+    pub total_steps: usize,
+}
+
+impl Nemo {
+    /// The BENCH ORCA1 configuration.
+    pub fn bench_orca1() -> Self {
+        Self {
+            grid_points: 600.0 * 500.0 * 75.0,
+            levels: 75,
+            flops_per_point: 2750.0,
+            bytes_per_point: 1200.0,
+            allreduces_per_step: 80,
+            steps: 3,
+            total_steps: 1000,
+        }
+    }
+
+    /// Minimum nodes. The paper: at least 8 CTE-Arm nodes "because of
+    /// memory constraints", while MareNostrum 4 runs from a single node —
+    /// NEMO's per-rank working buffers (halo copies, I/O servers) scale
+    /// with rank count and push the A64FX's 32 GB over the edge earlier.
+    pub fn min_nodes(&self, cluster: Cluster) -> usize {
+        match cluster {
+            Cluster::CteArm => 8,
+            Cluster::MareNostrum4 => 1,
+        }
+    }
+
+    /// Simulate a run, reporting total execution time for the benchmark.
+    pub fn simulate(&self, cluster: Cluster, nodes: usize) -> AppRun {
+        assert!(
+            nodes >= self.min_nodes(cluster),
+            "BENCH does not fit on {nodes} nodes of {}",
+            cluster.label()
+        );
+        let ranks = nodes * 48;
+        let per_rank = self.grid_points / ranks as f64;
+        let compute = KernelProfile::dp(
+            "nemo-step-indexed",
+            per_rank * self.flops_per_point,
+            0.0,
+        )
+        .with_vectorizable(0.30);
+        let stream = KernelProfile::dp("nemo-step-stream", 0.0, per_rank * self.bytes_per_point);
+        // 2-D horizontal decomposition: halo = 4 edges of
+        // √(horizontal points) × levels × 3 fields × 8 B.
+        let horiz = per_rank / self.levels as f64;
+        let halo_bytes = Bytes::new(horiz.sqrt() * self.levels as f64 * 3.0 * 8.0);
+
+        let elapsed = with_job(cluster, nodes, 48, 1, false, 23, |job| {
+            for _ in 0..self.steps {
+                job.compute(&compute);
+                job.compute(&stream);
+                job.halo(4, halo_bytes);
+                for _ in 0..self.allreduces_per_step {
+                    job.allreduce(Bytes::new(8.0));
+                }
+            }
+            job.elapsed()
+        });
+        AppRun {
+            elapsed: elapsed * (self.total_steps as f64 / self.steps as f64),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Node counts plotted (paper: CTE-Arm 8–192, MareNostrum 4 1–24).
+    pub fn paper_node_counts(&self, cluster: Cluster) -> Vec<usize> {
+        match cluster {
+            Cluster::CteArm => vec![8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 192],
+            Cluster::MareNostrum4 => vec![1, 2, 4, 8, 12, 16, 24],
+        }
+    }
+
+    /// Fig. 11 — execution time vs nodes (log–log in the paper).
+    pub fn figure11(&self) -> Figure {
+        let mut fig = Figure::new("fig11", "NEMO: scalability", "nodes", "execution time [s]");
+        for cluster in Cluster::BOTH {
+            let mut s = Series::new(cluster.label());
+            for n in self.paper_node_counts(cluster) {
+                s.push(n as f64, self.simulate(cluster, n).elapsed.value());
+            }
+            fig.series.push(s);
+        }
+        fig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_minimums_match_paper() {
+        let n = Nemo::bench_orca1();
+        assert_eq!(n.min_nodes(Cluster::CteArm), 8);
+        assert_eq!(n.min_nodes(Cluster::MareNostrum4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn seven_cte_nodes_rejected() {
+        Nemo::bench_orca1().simulate(Cluster::CteArm, 7);
+    }
+
+    #[test]
+    fn mn4_is_1_7_to_1_8_faster() {
+        let n = Nemo::bench_orca1();
+        for nodes in [8, 16, 24] {
+            let r = n.simulate(Cluster::CteArm, nodes).elapsed
+                / n.simulate(Cluster::MareNostrum4, nodes).elapsed;
+            assert!(
+                r > 1.60 && r < 1.95,
+                "ratio at {nodes} nodes: {r} (paper: 1.70–1.79)"
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_48_cte_matches_27_mn4() {
+        // Paper: 48 A64FX nodes ≈ 27 MareNostrum 4 nodes. 27 exceeds the
+        // measured MN4 range, so compare against the interpolated value.
+        let n = Nemo::bench_orca1();
+        let cte48 = n.simulate(Cluster::CteArm, 48).elapsed.value();
+        let mn24 = n.simulate(Cluster::MareNostrum4, 24).elapsed.value();
+        // Interpolate MN4(27) assuming the measured near-linear scaling.
+        let mn27 = mn24 * 24.0 / 27.0;
+        let ratio = cte48 / mn27;
+        assert!((ratio - 1.0).abs() < 0.18, "CTE(48)/MN4(27) = {ratio}");
+    }
+
+    #[test]
+    fn cte_scaling_flattens_at_high_node_counts() {
+        // Paper: scalability flattens around 128 nodes (problem too small).
+        let n = Nemo::bench_orca1();
+        let t64 = n.simulate(Cluster::CteArm, 64).elapsed.value();
+        let t128 = n.simulate(Cluster::CteArm, 128).elapsed.value();
+        let t192 = n.simulate(Cluster::CteArm, 192).elapsed.value();
+        // Doubling 64 -> 128 already buys well under 2×.
+        assert!(t64 / t128 < 1.7, "64->128 speedup {}", t64 / t128);
+        // 128 -> 192 buys almost nothing (the paper's flattening).
+        assert!(t128 / t192 < 1.22, "128->192 speedup {}", t128 / t192);
+        // But it never goes backwards.
+        assert!(t192 <= t128 * 1.02);
+    }
+
+    #[test]
+    fn early_scaling_is_near_linear() {
+        let n = Nemo::bench_orca1();
+        let t8 = n.simulate(Cluster::CteArm, 8).elapsed.value();
+        let t16 = n.simulate(Cluster::CteArm, 16).elapsed.value();
+        let eff = t8 / t16 / 2.0;
+        assert!(eff > 0.9, "early strong scaling near-linear: {eff}");
+    }
+
+    #[test]
+    fn figure_is_well_formed() {
+        let f = Nemo::bench_orca1().figure11();
+        assert_eq!(f.series.len(), 2);
+        assert_eq!(f.series[0].points.len(), 11);
+        assert_eq!(f.series[1].points.len(), 7);
+        for s in &f.series {
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # arch — micro-architectural performance models
+//!
+//! Analytic models of the two machines evaluated in the paper:
+//!
+//! * **CTE-Arm** — Fujitsu A64FX node: 48 Armv8.2 cores in four Core Memory
+//!   Groups (CMGs), 512-bit SVE, 32 GB HBM2 at 1024 GB/s, cores joined by a
+//!   ring bus.
+//! * **MareNostrum 4** — dual-socket Intel Xeon Platinum 8160 node: 2 × 24
+//!   Skylake cores, AVX-512, 96 GB DDR4-2666 over 12 channels at 256 GB/s.
+//!
+//! The constants come from the paper's Table I and the Fujitsu A64FX
+//! micro-architecture manual. On top of the raw descriptions this crate
+//! provides:
+//!
+//! * [`isa`] — vector ISA descriptions (NEON, SVE, AVX-512) and precisions.
+//! * [`cpu`] — per-core execution model (FMA pipes, scalar ILP strength).
+//! * [`cache`] — cache hierarchies.
+//! * [`memory`] — NUMA domains and sustained-bandwidth models, including
+//!   the OpenMP cross-CMG ring-bus penalty and the MPI-per-CMG locality
+//!   model that reproduce the paper's STREAM results.
+//! * [`compiler`] — the compiler/vectorization model: how much of a kernel's
+//!   vectorizable work each toolchain actually lands on the SIMD unit.
+//!   This encodes the paper's central finding (GNU on A64FX leaves SVE
+//!   mostly idle) as a model *input*; application slowdowns are outputs.
+//! * [`cost`] — the roofline-with-scalar-ILP kernel cost model.
+//! * [`machines`] — the two fully-populated machine descriptions.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cache;
+pub mod compiler;
+pub mod cost;
+pub mod cpu;
+pub mod fugaku;
+pub mod isa;
+pub mod machines;
+pub mod memory;
+pub mod power;
+pub mod roofline;
+
+pub use cache::{CacheHierarchy, CacheLevel};
+pub use compiler::{Compiler, CompilerId, Language};
+pub use cost::{CostModel, KernelProfile};
+pub use cpu::CoreModel;
+pub use isa::{Precision, VectorIsa};
+pub use machines::{cte_arm, marenostrum4, Machine};
+pub use memory::{MemoryModel, NumaDomain};

@@ -1,0 +1,74 @@
+//! One benchmark per paper table/figure: times the regeneration and prints
+//! headline values so the bench log doubles as a reproduction record.
+
+use bench::quick;
+use cluster_eval::experiments::{all_experiments, run, Artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_artifacts(c: &mut Criterion) {
+    // Print the headline values once, before timing.
+    print_headlines();
+    let mut group = c.benchmark_group("paper");
+    for exp in all_experiments() {
+        group.bench_function(exp.id, |b| {
+            b.iter(|| black_box((exp.run)()));
+        });
+    }
+    group.finish();
+}
+
+fn print_headlines() {
+    println!("== reproduction headlines (paper vs regenerated) ==");
+    if let Some(Artifact::Figure(f)) = run("fig2") {
+        let cte = f.series_named("CTE-Arm (C)").unwrap();
+        println!(
+            "fig2  STREAM OpenMP peak: {:.1} GB/s at {} threads (paper: 292.0 at 24)",
+            cte.y_max().unwrap(),
+            cte.argmax().unwrap()
+        );
+    }
+    if let Some(Artifact::Figure(f)) = run("fig3") {
+        let fortran = f.series_named("CTE-Arm (Fortran)").unwrap();
+        let c = f.series_named("CTE-Arm (C)").unwrap();
+        println!(
+            "fig3  STREAM hybrid: Fortran {:.1} GB/s, C {:.1} GB/s (paper: 862.6 / 421.1)",
+            fortran.y_max().unwrap(),
+            c.y_max().unwrap()
+        );
+    }
+    if let Some(Artifact::Figure(f)) = run("fig6") {
+        let cte = f.series_named("CTE-Arm").unwrap().y_at(192.0).unwrap();
+        let mn4 = f.series_named("MareNostrum 4").unwrap().y_at(192.0).unwrap();
+        println!(
+            "fig6  HPL @192 nodes: CTE {:.1}% of peak, MN4 {:.1}% (paper: 85 / 63)",
+            100.0 * cte / (192.0 * 3379.2),
+            100.0 * mn4 / (192.0 * 3225.6)
+        );
+    }
+    if let Some(Artifact::Figure(f)) = run("fig7") {
+        let one = f
+            .series_named("CTE-Arm (optimized)")
+            .unwrap()
+            .y_at(1.0)
+            .unwrap();
+        println!(
+            "fig7  HPCG @1 node: {:.2}% of peak (paper: 2.91)",
+            100.0 * one / 3379.2
+        );
+    }
+    if let Some(Artifact::Table(t)) = run("table4") {
+        println!("table4 speedups (CTE-Arm / MareNostrum 4):");
+        for row in &t.rows {
+            println!("   {:8} {}", row[0], row[1..].join("  "));
+        }
+    }
+    println!();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_artifacts
+}
+criterion_main!(benches);

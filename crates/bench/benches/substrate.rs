@@ -1,0 +1,129 @@
+//! Benches for the functional substrates added beyond the paper's scope:
+//! the distributed LU/CG executions, the multigrid hierarchy, and the job
+//! scheduler — plus headline printouts recording their verification data.
+
+use bench::quick;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpl::distributed::BlockCyclicLu;
+use hpcg::distributed::DistributedCg;
+use kernels::matrix::DenseMatrix;
+use kernels::mg::{mg_pcg, MgHierarchy};
+use sched::{AllocationPolicy, Allocator, JobRequest, Scheduler};
+use simkit::rng::Pcg32;
+use simkit::units::Time;
+use std::hint::black_box;
+
+fn bench_distributed_lu(c: &mut Criterion) {
+    let mut rng = Pcg32::seeded(1);
+    let a = DenseMatrix::from_fn(96, 96, |_, _| rng.uniform(-0.5, 0.5));
+    {
+        let mut d = BlockCyclicLu::distribute(&a, 16, 2, 3);
+        assert!(d.factor());
+        println!(
+            "distributed LU (96², 2×3 grid): {} KiB over the network in {} messages",
+            d.comm.total_bytes() / 1024,
+            d.comm.messages
+        );
+    }
+    let mut g = c.benchmark_group("distributed_lu");
+    g.bench_function("factor_96_2x3", |b| {
+        b.iter(|| {
+            let mut d = BlockCyclicLu::distribute(black_box(&a), 16, 2, 3);
+            assert!(d.factor());
+            black_box(d.comm.total_bytes())
+        })
+    });
+    g.finish();
+}
+
+fn bench_distributed_cg(c: &mut Criterion) {
+    let b_vec = vec![1.0; 512];
+    {
+        let mut d = DistributedCg::new((8, 8, 8), (2, 2, 2));
+        let (_, iters, rel) = d.solve(&b_vec, 300, 1e-9);
+        println!(
+            "distributed CG (8³, 2×2×2): {iters} iterations to {rel:.1e}, {} KiB of halos",
+            d.comm.halo_bytes / 1024
+        );
+    }
+    let mut g = c.benchmark_group("distributed_cg");
+    g.bench_function("solve_8cubed_2x2x2", |b| {
+        b.iter(|| {
+            let mut d = DistributedCg::new((8, 8, 8), (2, 2, 2));
+            black_box(d.solve(black_box(&b_vec), 300, 1e-9))
+        })
+    });
+    g.finish();
+}
+
+fn bench_multigrid(c: &mut Criterion) {
+    let h = MgHierarchy::build(16, 16, 16, 4);
+    let rhs: Vec<f64> = (0..h.levels[0].matrix.n)
+        .map(|i| ((i % 11) as f64) - 5.0)
+        .collect();
+    {
+        let (iters, rel) = mg_pcg(&h, &rhs, 100, 1e-9);
+        println!("MG-PCG (16³, 4 levels): {iters} iterations to {rel:.1e}");
+    }
+    let mut g = c.benchmark_group("multigrid");
+    g.bench_function("v_cycle_16cubed", |b| {
+        b.iter(|| {
+            let mut x = vec![0.0; h.levels[0].matrix.n];
+            h.v_cycle(black_box(&rhs), &mut x);
+            black_box(x)
+        })
+    });
+    g.bench_function("mg_pcg_16cubed", |b| {
+        b.iter(|| black_box(mg_pcg(&h, &rhs, 100, 1e-9)))
+    });
+    g.finish();
+}
+
+fn scheduler_workload() -> Vec<JobRequest> {
+    let mut rng = Pcg32::seeded(5);
+    (0..200)
+        .map(|id| JobRequest {
+            id,
+            nodes: 1 + rng.next_below(96) as usize,
+            duration: Time::seconds(rng.uniform(30.0, 3600.0)),
+            submit: Time::seconds(rng.uniform(0.0, 20_000.0)),
+        })
+        .collect()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    {
+        let alloc = Allocator::new(
+            interconnect::tofu::TofuD::cte_arm(),
+            AllocationPolicy::BestFitContiguous,
+            1,
+        );
+        let (_, stats) = Scheduler::new(alloc, true).run(scheduler_workload());
+        println!(
+            "scheduler (200 jobs): utilization {:.1} %, mean wait {:.1} min",
+            stats.utilization * 100.0,
+            stats.mean_wait.value() / 60.0
+        );
+    }
+    let mut g = c.benchmark_group("scheduler");
+    for (name, policy) in [
+        ("best_fit", AllocationPolicy::BestFitContiguous),
+        ("random", AllocationPolicy::Random),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let alloc =
+                    Allocator::new(interconnect::tofu::TofuD::cte_arm(), policy, 1);
+                black_box(Scheduler::new(alloc, true).run(scheduler_workload()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_distributed_lu, bench_distributed_cg, bench_multigrid, bench_scheduler
+}
+criterion_main!(benches);

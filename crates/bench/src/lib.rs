@@ -1,0 +1,22 @@
+//! # bench — Criterion benchmark targets
+//!
+//! Three suites:
+//!
+//! * `paper_artifacts` — one target per paper table/figure: times the full
+//!   regeneration of each artifact and prints its headline values, so a
+//!   `cargo bench` run doubles as a reproduction log.
+//! * `host_kernels` — the real compute kernels on the host machine: the
+//!   FPU µKernel, STREAM Triad, blocked DGEMM/LU, the HPCG CG iteration,
+//!   FEM assembly, the MD force loop, and the FFT.
+//! * `ablations` — the design-choice studies listed in DESIGN.md §5:
+//!   collective algorithms, placement policies, SVE-uptake sweep, and the
+//!   HBM↔DDR4 memory swap.
+
+/// Shared helper: a compact Criterion configuration for the slower
+/// cluster-scale simulations.
+pub fn quick() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}

@@ -1,0 +1,88 @@
+//! `cluster-eval` — command-line front end of the evaluation harness.
+//!
+//! ```text
+//! cluster-eval list                 list every experiment (paper + extensions)
+//! cluster-eval run <id> [--csv]     regenerate one artifact (fig1..fig16, table1..table4, ext_*)
+//! cluster-eval report [dir]         write all artifacts to <dir> (default ./report)
+//! cluster-eval table4               shortcut for the speedup summary
+//! ```
+
+use cluster_eval::experiments::{all_experiments, run};
+use cluster_eval::extensions::{extension_experiments, run_extension};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cluster-eval list\n  cluster-eval run <id> [--csv]\n  \
+         cluster-eval report [dir]\n  cluster-eval table4\n  cluster-eval validate"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("paper artifacts:");
+            for e in all_experiments() {
+                println!("  {:8} [Sec. {:5}] {}", e.id, e.section, e.title);
+            }
+            println!("extensions:");
+            for e in extension_experiments() {
+                println!("  {:16} [{}] {}", e.id, e.section, e.title);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(id) = args.get(1) else {
+                return usage();
+            };
+            let csv = args.iter().any(|a| a == "--csv");
+            let artifact = run(id).or_else(|| run_extension(id));
+            match artifact {
+                Some(a) => {
+                    print!("{}", if csv { a.to_csv() } else { a.to_text() });
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown experiment '{id}' — try `cluster-eval list`");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("report") => {
+            let dir = args.get(1).cloned().unwrap_or_else(|| "report".into());
+            match cluster_eval::report::generate_report(std::path::Path::new(&dir)) {
+                Ok(artifacts) => {
+                    println!("wrote {} artifacts to {dir}", artifacts.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("report generation failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("validate") => {
+            let t = cluster_eval::validation::validation_report();
+            print!("{}", t.to_text());
+            let failing = cluster_eval::validation::checks()
+                .iter()
+                .filter(|c| !c.passes())
+                .count();
+            if failing == 0 {
+                println!("\nall checks PASS");
+                ExitCode::SUCCESS
+            } else {
+                println!("\n{failing} checks FAIL");
+                ExitCode::FAILURE
+            }
+        }
+        Some("table4") => {
+            let a = run("table4").expect("table4 is registered");
+            print!("{}", a.to_text());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,251 @@
+//! The validation ledger: every headline number the paper publishes,
+//! recomputed from the models and compared with an explicit tolerance.
+//!
+//! EXPERIMENTS.md is the narrative form of this data; this module is the
+//! machine-readable source of truth. Each [`Check`] names the paper
+//! quantity, its published value, the regenerated value and the tolerance
+//! under which the reproduction is accepted — so `validation_report()`
+//! *is* the reproduction claim, runnable on demand
+//! (`cluster-eval run validation`).
+
+use crate::experiments::{run, Artifact};
+use crate::speedup::{speedup_cells, Cell, NODE_COUNTS};
+use simkit::series::{Figure, Table};
+
+/// One paper-vs-model comparison.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Which artifact the quantity comes from.
+    pub artifact: &'static str,
+    /// What is being compared.
+    pub quantity: String,
+    /// The paper's published value.
+    pub paper: f64,
+    /// The regenerated value.
+    pub model: f64,
+    /// Accepted absolute deviation.
+    pub tolerance: f64,
+}
+
+impl Check {
+    /// Whether the reproduction passes.
+    pub fn passes(&self) -> bool {
+        (self.model - self.paper).abs() <= self.tolerance
+    }
+
+    /// Relative deviation from the paper value.
+    pub fn deviation(&self) -> f64 {
+        if self.paper == 0.0 {
+            0.0
+        } else {
+            (self.model - self.paper) / self.paper
+        }
+    }
+}
+
+fn figure(id: &str) -> Figure {
+    match run(id).expect("registered experiment") {
+        Artifact::Figure(f) => f,
+        Artifact::Table(_) => panic!("{id} should be a figure"),
+    }
+}
+
+fn y(fig: &Figure, series: &str, x: f64) -> f64 {
+    fig.series_named(series)
+        .unwrap_or_else(|| panic!("series {series}"))
+        .y_at(x)
+        .unwrap_or_else(|| panic!("{series} has x = {x}"))
+}
+
+/// Recompute every ledger entry.
+pub fn checks() -> Vec<Check> {
+    let mut out = Vec::new();
+    let mut push = |artifact, quantity: &str, paper: f64, model: f64, tolerance: f64| {
+        out.push(Check {
+            artifact,
+            quantity: quantity.to_string(),
+            paper,
+            model,
+            tolerance,
+        });
+    };
+
+    // Fig. 1 — sustained one-core rates.
+    let f1 = figure("fig1");
+    push("fig1", "SVE double GFlop/s (1 core)", 70.4, y(&f1, "CTE-Arm vector", 2.0), 1.0);
+    push("fig1", "SVE half GFlop/s (1 core)", 281.6, y(&f1, "CTE-Arm vector", 0.0), 3.0);
+    push("fig1", "AVX-512 double GFlop/s (1 core)", 67.2, y(&f1, "MareNostrum 4 vector", 2.0), 1.0);
+
+    // Fig. 2 — STREAM OpenMP.
+    let f2 = figure("fig2");
+    let cte_c = f2.series_named("CTE-Arm (C)").expect("series");
+    push("fig2", "CTE-Arm OpenMP Triad peak GB/s", 292.0, cte_c.y_max().unwrap(), 8.0);
+    push("fig2", "CTE-Arm OpenMP peak thread count", 24.0, cte_c.argmax().unwrap(), 0.0);
+    push("fig2", "MN4 OpenMP Triad @48 threads GB/s", 201.2, y(&f2, "MareNostrum 4 (C)", 48.0), 6.0);
+
+    // Fig. 3 — STREAM hybrid.
+    let f3 = figure("fig3");
+    push("fig3", "CTE-Arm hybrid Fortran GB/s", 862.6, y(&f3, "CTE-Arm (Fortran)", 4.0), 4.0);
+    push("fig3", "CTE-Arm hybrid C GB/s", 421.1, y(&f3, "CTE-Arm (C)", 4.0), 4.0);
+
+    // Fig. 6 — HPL.
+    let f6 = figure("fig6");
+    push(
+        "fig6",
+        "CTE-Arm HPL efficiency @192 nodes",
+        0.85,
+        y(&f6, "CTE-Arm", 192.0) / (192.0 * 3379.2),
+        0.02,
+    );
+    push(
+        "fig6",
+        "MN4 HPL efficiency @192 nodes",
+        0.63,
+        y(&f6, "MareNostrum 4", 192.0) / (192.0 * 3225.6),
+        0.05,
+    );
+
+    // Fig. 7 — HPCG.
+    let f7 = figure("fig7");
+    push(
+        "fig7",
+        "CTE-Arm HPCG fraction @1 node",
+        0.0291,
+        y(&f7, "CTE-Arm (optimized)", 1.0) / 3379.2,
+        0.002,
+    );
+    push(
+        "fig7",
+        "CTE-Arm HPCG fraction @192 nodes",
+        0.0296,
+        y(&f7, "CTE-Arm (optimized)", 192.0) / (192.0 * 3379.2),
+        0.002,
+    );
+
+    // Figs. 8–10 — Alya ratios at 12 nodes.
+    let ratio_at = |fig: &Figure, x: f64| y(fig, "CTE-Arm", x) / y(fig, "MareNostrum 4", x);
+    push("fig8", "Alya total slowdown @12 nodes", 3.4, ratio_at(&figure("fig8"), 12.0), 0.45);
+    push("fig9", "Alya assembly slowdown @12 nodes", 4.96, ratio_at(&figure("fig9"), 12.0), 0.6);
+    push("fig10", "Alya solver slowdown @12 nodes", 1.79, ratio_at(&figure("fig10"), 12.0), 0.35);
+
+    // Fig. 11 — NEMO.
+    push("fig11", "NEMO slowdown @16 nodes", 1.75, ratio_at(&figure("fig11"), 16.0), 0.2);
+
+    // Figs. 12–16 — remaining apps.
+    let f12 = figure("fig12");
+    push(
+        "fig12",
+        "Gromacs slowdown @48 cores",
+        3.10,
+        y(&f12, "CTE-Arm", 48.0) / y(&f12, "MareNostrum 4", 48.0),
+        0.4,
+    );
+    let f14 = figure("fig14");
+    push(
+        "fig14",
+        "OpenIFS slowdown @8 ranks",
+        3.72,
+        y(&f14, "CTE-Arm", 8.0) / y(&f14, "MareNostrum 4", 8.0),
+        0.45,
+    );
+    push("fig15", "OpenIFS slowdown @32 nodes", 3.55, ratio_at(&figure("fig15"), 32.0), 0.6);
+    let f16 = figure("fig16");
+    push(
+        "fig16",
+        "WRF slowdown @1 node",
+        2.16,
+        y(&f16, "CTE-Arm (IO)", 1.0) / y(&f16, "MareNostrum 4 (IO)", 1.0),
+        0.3,
+    );
+
+    // Table IV — the speedup matrix (paper cells with a published number).
+    let paper_cells: &[(&str, usize, f64, f64)] = &[
+        ("LINPACK", 1, 1.25, 0.12),
+        ("LINPACK", 192, 1.40, 0.15),
+        ("HPCG", 1, 2.50, 0.25),
+        ("HPCG", 192, 3.24, 0.35),
+        ("Alya", 16, 0.30, 0.05),
+        ("OpenIFS", 1, 0.31, 0.05),
+        ("OpenIFS", 32, 0.28, 0.05),
+        ("Gromacs", 1, 0.32, 0.05),
+        ("WRF", 1, 0.49, 0.08),
+        ("NEMO", 16, 0.56, 0.08),
+    ];
+    let cells = speedup_cells();
+    for &(app, nodes, paper, tol) in paper_cells {
+        let col = NODE_COUNTS.iter().position(|&n| n == nodes).expect("column");
+        let cell = cells.iter().find(|(n, _)| n == app).expect("row").1[col];
+        let model = match cell {
+            Cell::Speedup(s) => s,
+            _ => f64::NAN,
+        };
+        push("table4", &format!("{app} speedup @{nodes} nodes"), paper, model, tol);
+    }
+
+    // External validation: Fugaku.
+    if let Some(Artifact::Table(t)) = crate::extensions::run_extension("ext_fugaku") {
+        let model_hpl: f64 = t.cell(0, "Model").unwrap().parse().unwrap();
+        push("ext_fugaku", "Fugaku HPL PFlop/s (Top500 Nov-2020)", 442.0, model_hpl, 22.0);
+        let model_hpcg: f64 = t.cell(2, "Model").unwrap().parse().unwrap();
+        push("ext_fugaku", "Fugaku HPCG PFlop/s (HPCG Nov-2020)", 16.0, model_hpcg, 0.8);
+    }
+
+    out
+}
+
+/// Render the ledger as a table artifact.
+pub fn validation_report() -> Table {
+    let mut t = Table::new(
+        "validation",
+        "Reproduction ledger: paper vs model, with acceptance tolerances",
+        vec!["Artifact", "Quantity", "Paper", "Model", "Tolerance", "Deviation", "Status"],
+    );
+    for c in checks() {
+        t.push_row(vec![
+            c.artifact.to_string(),
+            c.quantity.clone(),
+            format!("{:.4}", c.paper),
+            format!("{:.4}", c.model),
+            format!("±{:.3}", c.tolerance),
+            format!("{:+.1}%", 100.0 * c.deviation()),
+            if c.passes() { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ledger_entry_passes() {
+        let all = checks();
+        assert!(all.len() >= 30, "ledger covers the paper: {} checks", all.len());
+        let failures: Vec<String> = all
+            .iter()
+            .filter(|c| !c.passes())
+            .map(|c| format!("{}: paper {} vs model {}", c.quantity, c.paper, c.model))
+            .collect();
+        assert!(failures.is_empty(), "failing checks: {failures:#?}");
+    }
+
+    #[test]
+    fn deviations_are_mostly_small() {
+        // Beyond pass/fail: the median absolute deviation across the
+        // ledger stays under 5 %.
+        let mut devs: Vec<f64> = checks().iter().map(|c| c.deviation().abs()).collect();
+        devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = devs[devs.len() / 2];
+        assert!(median < 0.05, "median |deviation| {median}");
+    }
+
+    #[test]
+    fn report_renders_with_status_column() {
+        let t = validation_report();
+        assert!(t.rows.len() >= 30);
+        let text = t.to_text();
+        assert!(text.contains("PASS"));
+        assert!(!text.contains("FAIL"), "ledger is fully green");
+    }
+}

@@ -1,0 +1,115 @@
+//! Bisection-bandwidth analysis of the modelled topologies.
+//!
+//! The classic capacity metric behind the paper's Table-I network row: how
+//! much traffic can cross the worst-case half/half cut. TofuD's torus
+//! bisection grows with the cross-section of its largest dimension; the
+//! tapered fat tree's is its spine capacity. The tests pin the well-known
+//! results (a 2:1-tapered tree has half the full-bisection capacity; a
+//! torus beats it per node at CTE-Arm's scale).
+
+use crate::fattree::FatTree;
+use crate::link::LinkModel;
+use crate::tofu::TofuD;
+
+/// Bisection capacity of a TofuD torus in links, cutting across its
+/// largest dimension: `2 · (nodes / extent)` links for a torus dimension
+/// (the wrap doubles the cut), `nodes / extent` for a mesh dimension —
+/// taking the best (largest) cut the topology offers... the *bisection*
+/// is the worst cut, so the minimum over dimensions that split the
+/// machine in half.
+pub fn tofu_bisection_links(topo: &TofuD) -> usize {
+    let total: usize = topo.dims.iter().product();
+    let mut worst = usize::MAX;
+    for (i, &extent) in topo.dims.iter().enumerate() {
+        if extent < 2 {
+            continue; // cannot bisect along a singleton dimension
+        }
+        let cross_section = total / extent;
+        let links = if topo.periodic[i] && extent > 2 {
+            2 * cross_section
+        } else {
+            cross_section
+        };
+        worst = worst.min(links);
+    }
+    assert!(worst != usize::MAX, "topology has no bisectable dimension");
+    worst
+}
+
+/// Bisection capacity of the fat tree in equivalent node-links:
+/// `nodes / (2 · taper)` (full bisection would be `nodes / 2`).
+pub fn fattree_bisection_links(topo: &FatTree) -> f64 {
+    topo.n_nodes as f64 / (2.0 * topo.taper)
+}
+
+/// Bisection bandwidth in bytes/s given the link model.
+pub fn tofu_bisection_bandwidth(topo: &TofuD, link: &LinkModel) -> f64 {
+    tofu_bisection_links(topo) as f64 * link.bandwidth.value()
+}
+
+/// Fat-tree bisection bandwidth in bytes/s.
+pub fn fattree_bisection_bandwidth(topo: &FatTree, link: &LinkModel) -> f64 {
+    fattree_bisection_links(topo) * link.bandwidth.value()
+}
+
+/// Per-node bisection bandwidth (bytes/s/node) — the scale-independent
+/// comparison number.
+pub fn per_node(bisection_bw: f64, nodes: usize) -> f64 {
+    bisection_bw / nodes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cte_arm_bisection_cut() {
+        // Dims [4,2,2,2,3,2]: worst bisectable cut. X (torus, 4): 2·48=96;
+        // Y (torus, 2): 96; Z: 96; A (mesh, 2): 96; B (torus, 3): 2·64=128;
+        // C (mesh, 2): 96. Worst = 96 links.
+        let t = TofuD::cte_arm();
+        assert_eq!(tofu_bisection_links(&t), 96);
+    }
+
+    #[test]
+    fn torus_wrap_doubles_the_cut() {
+        let mesh = TofuD::with_dims([4, 1, 1, 1, 1, 1], [false; 6]);
+        let torus = TofuD::with_dims([4, 1, 1, 1, 1, 1], [true, false, false, false, false, false]);
+        assert_eq!(tofu_bisection_links(&mesh), 1);
+        assert_eq!(tofu_bisection_links(&torus), 2);
+    }
+
+    #[test]
+    fn tapered_tree_halves_full_bisection() {
+        let full = FatTree::with_geometry(1024, 32, 1.0);
+        let tapered = FatTree::with_geometry(1024, 32, 2.0);
+        assert_eq!(fattree_bisection_links(&full), 512.0);
+        assert_eq!(fattree_bisection_links(&tapered), 256.0);
+    }
+
+    #[test]
+    fn cte_arm_beats_mn4_per_node() {
+        // CTE-Arm: 96 links × 6.8 GB/s over 192 nodes = 3.4 GB/s/node;
+        // MN4: link rate / (2 · taper) = 12/4 = 3.0 GB/s/node. The torus
+        // edges it out per node despite the slower links.
+        let tofu = TofuD::cte_arm();
+        let tree = FatTree::marenostrum4();
+        let cte = per_node(
+            tofu_bisection_bandwidth(&tofu, &LinkModel::tofud()),
+            192,
+        );
+        let mn4 = per_node(
+            fattree_bisection_bandwidth(&tree, &LinkModel::omnipath()),
+            3456,
+        );
+        assert!((cte / 1e9 - 3.4).abs() < 0.01, "CTE {cte}");
+        assert!((mn4 / 1e9 - 3.0).abs() < 0.01, "MN4 {mn4}");
+        assert!(cte > mn4, "the torus wins per node at this scale");
+    }
+
+    #[test]
+    #[should_panic(expected = "no bisectable dimension")]
+    fn singleton_topology_rejected() {
+        tofu_bisection_links(&TofuD::with_dims([1; 6], [true; 6]));
+    }
+}

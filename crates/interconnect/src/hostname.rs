@@ -1,0 +1,133 @@
+//! CTE-Arm hostname ↔ node-id mapping.
+//!
+//! The paper identifies its degraded node by hostname, `arms0b1-11c`.
+//! CTE-Arm names follow Fujitsu's rack/board/shelf convention:
+//! `arms<rack>b<board>-<shelf><slot>` with rack 0–3, board 0–3 within the
+//! rack, shelf 10–12 on the board and slot letter `a`–`d` — 4 × 4 boards
+//! of 12 nodes (one Tofu unit per board) = 192 nodes. This module is the
+//! bidirectional codec, so diagnostics like `network_doctor` can speak the
+//! operators' language.
+
+use crate::topology::NodeId;
+
+/// Nodes per board (one Tofu unit).
+pub const NODES_PER_BOARD: usize = 12;
+/// Boards per rack.
+pub const BOARDS_PER_RACK: usize = 4;
+/// Racks in CTE-Arm.
+pub const RACKS: usize = 4;
+/// Shelf numbering starts here on each board.
+const SHELF_BASE: usize = 10;
+
+/// Render the hostname of a node id.
+///
+/// # Panics
+/// Panics for ids outside the 192-node machine.
+pub fn hostname(node: NodeId) -> String {
+    assert!(
+        node.index() < RACKS * BOARDS_PER_RACK * NODES_PER_BOARD,
+        "node {node} outside CTE-Arm"
+    );
+    let idx = node.index();
+    let rack = idx / (BOARDS_PER_RACK * NODES_PER_BOARD);
+    let board = (idx / NODES_PER_BOARD) % BOARDS_PER_RACK;
+    let within = idx % NODES_PER_BOARD;
+    let shelf = SHELF_BASE + within / 4;
+    let slot = (b'a' + (within % 4) as u8) as char;
+    format!("arms{rack}b{board}-{shelf}{slot}")
+}
+
+/// Parse a hostname back to its node id. Returns `None` for malformed
+/// names or out-of-range fields.
+pub fn parse_hostname(name: &str) -> Option<NodeId> {
+    let rest = name.strip_prefix("arms")?;
+    let (rack_board, shelf_slot) = rest.split_once('-')?;
+    let (rack_s, board_s) = rack_board.split_once('b')?;
+    let rack: usize = rack_s.parse().ok()?;
+    let board: usize = board_s.parse().ok()?;
+    if rack >= RACKS || board >= BOARDS_PER_RACK || shelf_slot.len() < 2 {
+        return None;
+    }
+    let slot = shelf_slot.chars().last()?;
+    let shelf: usize = shelf_slot[..shelf_slot.len() - 1].parse().ok()?;
+    let shelf = shelf.checked_sub(SHELF_BASE)?;
+    if shelf >= NODES_PER_BOARD / 4 {
+        return None;
+    }
+    let slot_idx = (slot as u8).checked_sub(b'a')? as usize;
+    if slot_idx >= 4 {
+        return None;
+    }
+    let within = shelf * 4 + slot_idx;
+    Some(NodeId(
+        (rack * BOARDS_PER_RACK + board) * NODES_PER_BOARD + within,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_192_nodes() {
+        for i in 0..192 {
+            let name = hostname(NodeId(i));
+            assert_eq!(
+                parse_hostname(&name),
+                Some(NodeId(i)),
+                "roundtrip for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_papers_degraded_node() {
+        // `arms0b1-11c`: rack 0, board 1, shelf 11, slot c
+        // -> within = (11−10)·4 + 2 = 6 -> id = 1·12 + 6 = 18.
+        let node = parse_hostname("arms0b1-11c").expect("valid name");
+        assert_eq!(node, NodeId(18));
+        assert_eq!(hostname(node), "arms0b1-11c");
+    }
+
+    #[test]
+    fn malformed_names_rejected() {
+        for bad in [
+            "",
+            "arms",
+            "armsXb1-11c",
+            "arms0b9-11c",
+            "arms9b0-10a",
+            "arms0b1-09a",
+            "arms0b1-13a",
+            "arms0b1-11z",
+            "node042",
+        ] {
+            assert_eq!(parse_hostname(bad), None, "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = (0..192).map(|i| hostname(NodeId(i))).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 192);
+    }
+
+    #[test]
+    fn same_board_means_same_tofu_unit() {
+        use crate::tofu::TofuD;
+        let t = TofuD::cte_arm();
+        let a = parse_hostname("arms0b0-10a").unwrap();
+        let b = parse_hostname("arms0b0-12d").unwrap();
+        assert!(t.same_unit(a, b), "one board = one Tofu unit");
+        let c = parse_hostname("arms0b1-10a").unwrap();
+        assert!(!t.same_unit(a, c), "different boards differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside CTE-Arm")]
+    fn out_of_range_panics() {
+        hostname(NodeId(192));
+    }
+}

@@ -1,0 +1,38 @@
+//! # interconnect — cluster network models
+//!
+//! Models of the two interconnects in the paper:
+//!
+//! * **TofuD** ([`tofu`]) — Fujitsu's six-dimensional torus/mesh. CTE-Arm's
+//!   192 nodes are arranged as an `(X,Y,Z) = (4,2,2)` torus of
+//!   `(A,B,C) = (2,3,2)` groups (the TofuD unit of 12 nodes), 6.8 GB/s peak
+//!   injection per node.
+//! * **OmniPath** ([`fattree`]) — Intel's 100 Gbit/s fat-tree as deployed in
+//!   MareNostrum 4 (32-node leaf switches, 2:1 taper to the spine).
+//!
+//! A [`network::Network`] combines a topology with a [`link::LinkModel`]
+//! (software overhead + per-hop latency + serialization + rendezvous
+//! handshake) and optional per-node degradation — the paper found one CTE-Arm
+//! node, `arms0b1-11c`, with crippled *receive* bandwidth but normal send
+//! bandwidth (Fig. 4); [`network::Degradation`] reproduces exactly that
+//! asymmetry.
+//!
+//! [`placement`] implements the topology-aware block allocation the CTE-Arm
+//! scheduler performs, plus a random allocator for the ablation study.
+
+#![warn(missing_docs)]
+
+pub mod bisection;
+pub mod fattree;
+pub mod hostname;
+pub mod link;
+pub mod network;
+pub mod placement;
+pub mod routing;
+pub mod tofu;
+pub mod topology;
+
+pub use fattree::FatTree;
+pub use link::LinkModel;
+pub use network::{Degradation, Network};
+pub use tofu::TofuD;
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,242 @@
+//! A network: topology + link model + per-node health + measurement noise.
+
+use crate::link::LinkModel;
+use crate::topology::{check_node, NodeId, Topology};
+use simkit::rng::Pcg32;
+use simkit::units::{Bandwidth, Bytes, Time};
+use std::collections::HashMap;
+
+/// Asymmetric per-node bandwidth degradation.
+///
+/// The paper's Fig. 4 shows node `arms0b1-11c` achieving very low bandwidth
+/// *as a receiver* while performing normally *as a sender* — consistent with
+/// a faulty receive-side DMA engine or a mis-trained link lane. The factors
+/// scale the effective bandwidth of messages arriving at / departing from
+/// the node.
+#[derive(Debug, Clone, Copy)]
+pub struct Degradation {
+    /// Multiplier on receive-side bandwidth, `(0, 1]`.
+    pub rx_factor: f64,
+    /// Multiplier on send-side bandwidth, `(0, 1]`.
+    pub tx_factor: f64,
+}
+
+impl Degradation {
+    /// A receive-only fault like the one in the paper.
+    pub fn receive_fault(rx_factor: f64) -> Self {
+        Self {
+            rx_factor,
+            tx_factor: 1.0,
+        }
+    }
+}
+
+/// A complete network model.
+pub struct Network<T: Topology> {
+    topo: T,
+    link: LinkModel,
+    degraded: HashMap<usize, Degradation>,
+    /// Lognormal sigma of dynamic-contention noise for messages ≥ 1 MiB.
+    /// The paper observes high run-to-run variability only above 2^20 B.
+    large_msg_noise: f64,
+}
+
+impl<T: Topology> Network<T> {
+    /// Build a healthy network.
+    pub fn new(topo: T, link: LinkModel) -> Self {
+        Self {
+            topo,
+            link,
+            degraded: HashMap::new(),
+            large_msg_noise: 0.25,
+        }
+    }
+
+    /// Mark a node as degraded.
+    pub fn with_degraded_node(mut self, node: NodeId, d: Degradation) -> Self {
+        check_node(&self.topo, node);
+        self.degraded.insert(node.index(), d);
+        self
+    }
+
+    /// Override the large-message noise sigma (0 disables it).
+    pub fn with_large_msg_noise(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma must be non-negative");
+        self.large_msg_noise = sigma;
+        self
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// The link model.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Bandwidth derate for the (sender, receiver) pair from node health.
+    fn health_factor(&self, from: NodeId, to: NodeId) -> f64 {
+        let tx = self.degraded.get(&from.index()).map_or(1.0, |d| d.tx_factor);
+        let rx = self.degraded.get(&to.index()).map_or(1.0, |d| d.rx_factor);
+        tx * rx
+    }
+
+    /// Deterministic (noise-free) transfer time for one message.
+    pub fn message_time(&self, from: NodeId, to: NodeId, bytes: Bytes) -> Time {
+        check_node(&self.topo, from);
+        check_node(&self.topo, to);
+        if from == to {
+            // Intra-node copy through shared memory: model as half the
+            // software overhead, no hops.
+            return self.link.sw_overhead * 0.5 + bytes / Bandwidth::gb_per_sec(20.0);
+        }
+        let hops = self.topo.hops(from, to);
+        let sharing = self.topo.sharing(from, to);
+        let health = self.health_factor(from, to);
+        // A degraded endpoint (mis-trained lane, faulty DMA engine) forces
+        // per-packet retransmits, stretching the whole transfer — latency
+        // and serialization alike — by 1/health.
+        let healthy = self.link.message_time(bytes, hops, sharing);
+        Time::seconds(healthy.value() / health)
+    }
+
+    /// Measured transfer time: deterministic cost plus dynamic-contention
+    /// noise for large messages (the paper's >1 MiB variability).
+    pub fn measured_time(&self, from: NodeId, to: NodeId, bytes: Bytes, rng: &mut Pcg32) -> Time {
+        let base = self.message_time(from, to, bytes);
+        if bytes.value() >= 1024.0 * 1024.0 && self.large_msg_noise > 0.0 {
+            // Contention only ever slows a transfer down: fold the lognormal
+            // factor to ≥ 1.
+            let factor = rng.lognormal_noise(self.large_msg_noise).max(1.0);
+            Time::seconds(base.value() * factor)
+        } else {
+            base
+        }
+    }
+
+    /// Bandwidth an OSU-style sendrecv loop reports for the pair.
+    pub fn measured_bandwidth(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: Bytes,
+        rng: &mut Pcg32,
+    ) -> Bandwidth {
+        bytes / self.measured_time(from, to, bytes, rng)
+    }
+
+    /// The full node-pair bandwidth map at one message size (Fig. 4):
+    /// `map[sender][receiver]` in GB/s. The diagonal (self-pairs) is 0.
+    pub fn pairwise_bandwidth_map(&self, bytes: Bytes, rng: &mut Pcg32) -> Vec<Vec<f64>> {
+        let n = self.topo.nodes();
+        let mut map = vec![vec![0.0; n]; n];
+        for (s, row) in map.iter_mut().enumerate() {
+            for (r, cell) in row.iter_mut().enumerate() {
+                if s != r {
+                    *cell = self
+                        .measured_bandwidth(NodeId(s), NodeId(r), bytes, rng)
+                        .as_gb_per_sec();
+                }
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTree;
+    use crate::tofu::TofuD;
+
+    fn cte_net() -> Network<TofuD> {
+        Network::new(TofuD::cte_arm(), LinkModel::tofud())
+    }
+
+    #[test]
+    fn nearby_pairs_are_faster() {
+        let net = cte_net();
+        let near = net.message_time(NodeId(0), NodeId(1), Bytes::new(256.0));
+        let far = net.message_time(NodeId(0), NodeId(100), Bytes::new(256.0));
+        assert!(near < far);
+    }
+
+    #[test]
+    fn receive_fault_is_asymmetric() {
+        let bad = NodeId(23);
+        let net = cte_net().with_degraded_node(bad, Degradation::receive_fault(0.1));
+        let mut rng = Pcg32::seeded(1);
+        let sz = Bytes::kib(256.0);
+        let other = NodeId(100);
+        let to_bad = net.measured_bandwidth(other, bad, sz, &mut rng).value();
+        let from_bad = net.measured_bandwidth(bad, other, sz, &mut rng).value();
+        assert!(
+            from_bad > 3.0 * to_bad,
+            "send {from_bad} should dwarf receive {to_bad}"
+        );
+    }
+
+    #[test]
+    fn large_messages_are_noisy_small_are_not() {
+        let net = cte_net();
+        let mut rng = Pcg32::seeded(2);
+        let small: Vec<f64> = (0..50)
+            .map(|_| {
+                net.measured_time(NodeId(0), NodeId(50), Bytes::kib(4.0), &mut rng)
+                    .value()
+            })
+            .collect();
+        let large: Vec<f64> = (0..50)
+            .map(|_| {
+                net.measured_time(NodeId(0), NodeId(50), Bytes::mib(4.0), &mut rng)
+                    .value()
+            })
+            .collect();
+        let cv = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt() / m
+        };
+        assert!(cv(&small) < 1e-12, "small messages deterministic");
+        assert!(cv(&large) > 0.05, "large messages vary");
+    }
+
+    #[test]
+    fn pairwise_map_shape() {
+        let net = cte_net();
+        let mut rng = Pcg32::seeded(3);
+        let map = net.pairwise_bandwidth_map(Bytes::new(256.0), &mut rng);
+        assert_eq!(map.len(), 192);
+        assert_eq!(map[0].len(), 192);
+        assert_eq!(map[7][7], 0.0);
+        assert!(map[0][1] > 0.0);
+        // In-unit pair beats cross-machine pair.
+        assert!(map[0][1] > map[0][180]);
+    }
+
+    #[test]
+    fn self_message_is_cheap() {
+        let net = cte_net();
+        let t_self = net.message_time(NodeId(5), NodeId(5), Bytes::kib(1.0));
+        let t_remote = net.message_time(NodeId(5), NodeId(6), Bytes::kib(1.0));
+        assert!(t_self < t_remote);
+    }
+
+    #[test]
+    fn fattree_network_works_too() {
+        let net = Network::new(FatTree::marenostrum4(), LinkModel::omnipath());
+        let same_leaf = net.message_time(NodeId(0), NodeId(3), Bytes::kib(1.0));
+        let cross = net.message_time(NodeId(0), NodeId(40), Bytes::kib(1.0));
+        assert!(same_leaf < cross);
+    }
+
+    #[test]
+    fn noise_can_be_disabled() {
+        let net = cte_net().with_large_msg_noise(0.0);
+        let mut rng = Pcg32::seeded(4);
+        let a = net.measured_time(NodeId(0), NodeId(9), Bytes::mib(8.0), &mut rng);
+        let b = net.measured_time(NodeId(0), NodeId(9), Bytes::mib(8.0), &mut rng);
+        assert_eq!(a, b);
+    }
+}

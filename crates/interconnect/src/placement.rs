@@ -1,0 +1,120 @@
+//! Job placement policies.
+//!
+//! CTE-Arm's scheduler is topology-aware: it allocates jobs on contiguous
+//! Tofu coordinates to minimize hop counts (Section II). It does *not* let
+//! users pick specific nodes (one of the paper's usability complaints). The
+//! random allocator exists for the ablation study quantifying what
+//! topology-awareness buys.
+
+use crate::topology::{NodeId, Topology};
+use simkit::rng::Pcg32;
+
+/// A placement policy: choose `n` nodes for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Contiguous block of node ids — on TofuD consecutive ids share Tofu
+    /// units, so this is the topology-aware allocation.
+    ContiguousBlock,
+    /// Uniformly random nodes (fragmented-cluster worst case).
+    Random,
+}
+
+/// Allocate `n` nodes from a topology under a policy. The RNG is only used
+/// by [`Placement::Random`].
+///
+/// # Panics
+/// Panics if `n` is zero or exceeds the cluster size.
+pub fn allocate<T: Topology>(
+    topo: &T,
+    n: usize,
+    policy: Placement,
+    rng: &mut Pcg32,
+) -> Vec<NodeId> {
+    assert!(n >= 1, "cannot allocate zero nodes");
+    assert!(
+        n <= topo.nodes(),
+        "requested {n} nodes from a {}-node cluster",
+        topo.nodes()
+    );
+    match policy {
+        Placement::ContiguousBlock => (0..n).map(NodeId).collect(),
+        Placement::Random => {
+            let mut all: Vec<usize> = (0..topo.nodes()).collect();
+            rng.shuffle(&mut all);
+            let mut picked: Vec<usize> = all.into_iter().take(n).collect();
+            picked.sort_unstable();
+            picked.into_iter().map(NodeId).collect()
+        }
+    }
+}
+
+/// Mean pairwise hop distance of an allocation — the quantity the
+/// topology-aware scheduler minimizes.
+pub fn mean_pairwise_hops<T: Topology>(topo: &T, nodes: &[NodeId]) -> f64 {
+    if nodes.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            total += topo.hops(a, b);
+            pairs += 1;
+        }
+    }
+    total as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tofu::TofuD;
+
+    #[test]
+    fn contiguous_allocation_is_prefix() {
+        let t = TofuD::cte_arm();
+        let mut rng = Pcg32::seeded(1);
+        let nodes = allocate(&t, 12, Placement::ContiguousBlock, &mut rng);
+        assert_eq!(nodes, (0..12).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_allocation_is_distinct_and_in_range() {
+        let t = TofuD::cte_arm();
+        let mut rng = Pcg32::seeded(2);
+        let nodes = allocate(&t, 48, Placement::Random, &mut rng);
+        assert_eq!(nodes.len(), 48);
+        let mut dedup = nodes.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 48, "no duplicates");
+        assert!(nodes.iter().all(|n| n.index() < 192));
+    }
+
+    #[test]
+    fn topology_aware_beats_random_on_hops() {
+        let t = TofuD::cte_arm();
+        let mut rng = Pcg32::seeded(3);
+        let block = allocate(&t, 24, Placement::ContiguousBlock, &mut rng);
+        let random = allocate(&t, 24, Placement::Random, &mut rng);
+        let hb = mean_pairwise_hops(&t, &block);
+        let hr = mean_pairwise_hops(&t, &random);
+        assert!(
+            hb < hr,
+            "contiguous {hb} should beat random {hr} on mean hops"
+        );
+    }
+
+    #[test]
+    fn mean_hops_of_singleton_is_zero() {
+        let t = TofuD::cte_arm();
+        assert_eq!(mean_pairwise_hops(&t, &[NodeId(3)]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn over_allocation_rejected() {
+        let t = TofuD::cte_arm();
+        let mut rng = Pcg32::seeded(4);
+        allocate(&t, 193, Placement::ContiguousBlock, &mut rng);
+    }
+}

@@ -1,0 +1,167 @@
+//! Dimension-ordered routing and link-load analysis on the TofuD torus.
+//!
+//! TofuD routes minimally, dimension by dimension. Enumerating the actual
+//! links a route crosses lets us compute per-link load under a traffic
+//! pattern — the mechanistic justification for the two-class sharing model
+//! in [`crate::tofu`]: under uniform all-to-all traffic the busiest trunk
+//! links carry about twice the mean load, which is exactly the sharing
+//! factor the bandwidth model charges to cross-unit pairs.
+
+use crate::tofu::{TofuD, DIMS};
+use crate::topology::{check_node, NodeId, Topology};
+use std::collections::HashMap;
+
+/// One directed physical link: `(from_coords, dimension, direction)`.
+/// Direction +1 is the increasing-coordinate port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Source node of the link.
+    pub from: NodeId,
+    /// The dimension the link travels along.
+    pub dim: usize,
+    /// `+1` or `-1`.
+    pub dir: i8,
+}
+
+/// The full node sequence of the dimension-ordered minimal route from `a`
+/// to `b` (inclusive of both endpoints).
+pub fn route(topo: &TofuD, a: NodeId, b: NodeId) -> Vec<NodeId> {
+    check_node(topo, a);
+    check_node(topo, b);
+    let mut path = vec![a];
+    let mut cur = topo.coords(a);
+    let dst = topo.coords(b);
+    for d in 0..DIMS {
+        while cur[d] != dst[d] {
+            let extent = topo.dims[d];
+            let fwd = (dst[d] + extent - cur[d]) % extent;
+            let bwd = (cur[d] + extent - dst[d]) % extent;
+            // Minimal direction; mesh dimensions only ever step the
+            // direct way (their distance function is |Δ|).
+            let step_fwd = if topo.periodic[d] {
+                fwd <= bwd
+            } else {
+                dst[d] > cur[d]
+            };
+            if step_fwd {
+                cur[d] = (cur[d] + 1) % extent;
+            } else {
+                cur[d] = (cur[d] + extent - 1) % extent;
+            }
+            path.push(topo.node_at(cur));
+        }
+    }
+    path
+}
+
+/// The directed links of a route.
+pub fn route_links(topo: &TofuD, a: NodeId, b: NodeId) -> Vec<Link> {
+    let path = route(topo, a, b);
+    path.windows(2)
+        .map(|w| {
+            let ca = topo.coords(w[0]);
+            let cb = topo.coords(w[1]);
+            let dim = (0..DIMS).find(|&d| ca[d] != cb[d]).expect("one hop");
+            let extent = topo.dims[dim];
+            let dir = if (ca[dim] + 1) % extent == cb[dim] { 1 } else { -1 };
+            Link {
+                from: w[0],
+                dim,
+                dir,
+            }
+        })
+        .collect()
+}
+
+/// Per-link message load under uniform all-pairs traffic (one unit per
+/// ordered pair). Returns `(max_load, mean_load)` over used links.
+pub fn all_pairs_link_load(topo: &TofuD) -> (f64, f64) {
+    let n = topo.nodes();
+    let mut load: HashMap<Link, u64> = HashMap::new();
+    for s in 0..n {
+        for r in 0..n {
+            if s == r {
+                continue;
+            }
+            for link in route_links(topo, NodeId(s), NodeId(r)) {
+                *load.entry(link).or_insert(0) += 1;
+            }
+        }
+    }
+    let max = load.values().copied().max().unwrap_or(0) as f64;
+    let mean = if load.is_empty() {
+        0.0
+    } else {
+        load.values().copied().sum::<u64>() as f64 / load.len() as f64
+    };
+    (max, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_endpoints_and_length() {
+        let t = TofuD::cte_arm();
+        for (a, b) in [(0usize, 0usize), (0, 1), (0, 100), (37, 154)] {
+            let (a, b) = (NodeId(a), NodeId(b));
+            let path = route(&t, a, b);
+            assert_eq!(*path.first().unwrap(), a);
+            assert_eq!(*path.last().unwrap(), b);
+            assert_eq!(path.len(), t.hops(a, b) + 1, "minimal route");
+        }
+    }
+
+    #[test]
+    fn consecutive_route_nodes_are_neighbours() {
+        let t = TofuD::cte_arm();
+        let path = route(&t, NodeId(5), NodeId(180));
+        for w in path.windows(2) {
+            assert_eq!(t.hops(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn torus_routes_take_the_wrap_when_shorter() {
+        let t = TofuD::cte_arm();
+        // X from 0 to 3 on a size-4 torus: one wrap hop, not three.
+        let a = t.node_at([0, 0, 0, 0, 0, 0]);
+        let b = t.node_at([3, 0, 0, 0, 0, 0]);
+        let path = route(&t, a, b);
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn links_match_hops() {
+        let t = TofuD::cte_arm();
+        let links = route_links(&t, NodeId(2), NodeId(77));
+        assert_eq!(links.len(), t.hops(NodeId(2), NodeId(77)));
+        // Dimension-ordered: dims along the route never decrease.
+        for w in links.windows(2) {
+            assert!(w[1].dim >= w[0].dim);
+        }
+    }
+
+    #[test]
+    fn uniform_traffic_hotspots_justify_the_sharing_factor() {
+        // The busiest link under all-pairs traffic carries roughly 2× the
+        // mean — the sharing = 2.0 charged to cross-unit routes in the
+        // bandwidth model.
+        let t = TofuD::cte_arm();
+        let (max, mean) = all_pairs_link_load(&t);
+        let ratio = max / mean;
+        assert!(
+            (1.6..=3.0).contains(&ratio),
+            "hotspot ratio {ratio} (max {max}, mean {mean})"
+        );
+    }
+
+    #[test]
+    fn small_torus_loads_are_symmetric() {
+        let t = TofuD::with_dims([2, 2, 2, 1, 1, 1], [true, true, true, false, false, false]);
+        let (max, mean) = all_pairs_link_load(&t);
+        // Perfectly symmetric machine: every used link equally loaded.
+        assert!((max - mean).abs() < 1e-9, "max {max} vs mean {mean}");
+    }
+}

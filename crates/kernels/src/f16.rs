@@ -1,0 +1,224 @@
+//! Software IEEE 754 binary16: storage, conversion, and arithmetic.
+//!
+//! Rust has no stable `f16`, but Fig. 1's µKernel has half-precision
+//! variants on the A64FX (Armv8.2 FP16). This module implements binary16
+//! for real — round-to-nearest-even conversions and an FMA that computes
+//! in `f32` and rounds once to half, which is exactly how a half-precision
+//! FMA unit behaves for these magnitudes — so the host benchmark suite can
+//! execute all six µKernel variants.
+
+/// An IEEE 754 binary16 value (1 sign, 5 exponent, 10 mantissa bits).
+///
+/// ```
+/// use kernels::f16::F16;
+/// let x = F16::from_f32(1.5);
+/// assert_eq!(x.0, 0x3E00);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // Half overflows past 65504.
+/// assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let frac = bits & 0x7F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN: preserve NaN-ness with a quiet bit.
+            let payload = if frac != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+        // Unbiased exponent.
+        let e = exp - 127;
+        if e > 15 {
+            return F16(sign | 0x7C00); // overflow to infinity
+        }
+        if e >= -14 {
+            // Normal half: round 23-bit fraction to 10 bits.
+            let mut mant = frac >> 13;
+            let rest = frac & 0x1FFF;
+            if rest > 0x1000 || (rest == 0x1000 && (mant & 1) == 1) {
+                mant += 1;
+            }
+            let mut he = (e + 15) as u32;
+            if mant == 0x400 {
+                mant = 0;
+                he += 1;
+                if he >= 31 {
+                    return F16(sign | 0x7C00);
+                }
+            }
+            return F16(sign | ((he as u16) << 10) | (mant as u16));
+        }
+        if e >= -25 {
+            // Subnormal half.
+            let shift = (-14 - e) as u32; // 1..=11
+            let full = 0x80_0000 | frac; // implicit leading 1
+            let total_shift = 13 + shift;
+            let mant = full >> total_shift;
+            let rest = full & ((1 << total_shift) - 1);
+            let half_point = 1u32 << (total_shift - 1);
+            let mut mant = mant;
+            if rest > half_point || (rest == half_point && (mant & 1) == 1) {
+                mant += 1;
+            }
+            return F16(sign | mant as u16);
+        }
+        F16(sign) // underflow to zero
+    }
+
+    /// Convert to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & 0x8000) << 16;
+        let exp = u32::from(self.0 >> 10) & 0x1F;
+        let mant = u32::from(self.0 & 0x3FF);
+        let bits = match (exp, mant) {
+            (0, 0) => sign,
+            (0, m) => {
+                // Subnormal (value m·2⁻²⁴): normalize. With the MSB of m
+                // at bit k, the f32 exponent field is 103 + k and the
+                // fraction is the bits below that MSB, left-aligned.
+                let k = 31 - m.leading_zeros();
+                let e = 103 + k;
+                let frac = (m - (1 << k)) << (23 - k);
+                sign | (e << 23) | frac
+            }
+            (0x1F, 0) => sign | 0x7F80_0000,
+            (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+            (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// True for NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x3FF) != 0
+    }
+
+    /// Fused multiply-add `self · b + c`, computed exactly in `f32` and
+    /// rounded once to half. For half operands the `f32` product and sum
+    /// are exact (11-bit significands), so this matches hardware FP16 FMA.
+    pub fn mul_add(self, b: F16, c: F16) -> F16 {
+        F16::from_f32(self.to_f32() * b.to_f32() + c.to_f32())
+    }
+}
+
+/// Half-precision FPU µKernel: independent FMA chains like
+/// [`crate::fma::scalar_f64`], executed in software binary16.
+pub fn fma_half(iters: u64) -> crate::fma::FmaResult {
+    const CHAINS: usize = 16;
+    let mut acc = [F16::ZERO; CHAINS];
+    for (i, a) in acc.iter_mut().enumerate() {
+        *a = F16::from_f32(1.0 + i as f32 * 1e-2);
+    }
+    // Multiplier just below one: the chains converge to the fixed point
+    // c/(1−m) instead of overflowing half's 65504 ceiling.
+    let m = F16(0x3BFF); // 0.99951171875
+    let c = F16::from_f32(1e-4);
+    for _ in 0..iters {
+        for a in acc.iter_mut() {
+            *a = a.mul_add(m, c);
+        }
+    }
+    crate::fma::FmaResult {
+        checksum: acc.iter().map(|a| f64::from(a.to_f32())).sum(),
+        flops: iters * CHAINS as u64 * 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(1.0).0, 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xC000);
+        assert_eq!(F16::from_f32(0.5).0, 0x3800);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7BFF);
+        assert_eq!(F16::from_f32(1.5).0, 0x3E00);
+        // Smallest positive subnormal: 2^-24.
+        assert_eq!(F16::from_f32(5.960_464_5e-8).0, 0x0001);
+    }
+
+    #[test]
+    fn roundtrip_is_exact_for_all_finite_halves() {
+        for bits in 0..=0xFFFFu16 {
+            let h = F16(bits);
+            if h.is_nan() {
+                assert!(h.to_f32().is_nan());
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.0, h.0, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+        assert_eq!(F16::from_f32(1e-10).0, 0x0000, "underflow to zero");
+        assert!(F16::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: rounds to even (1.0).
+        assert_eq!(F16::from_f32(1.0 + 0.000_488_281_25).0, 0x3C00);
+        // 1 + 3·2^-11 is between 1+2^-10 and 1+2^-9: rounds to even (1+2^-9).
+        assert_eq!(F16::from_f32(1.0 + 3.0 * 0.000_488_281_25).0, 0x3C02);
+    }
+
+    #[test]
+    fn fma_matches_single_rounding() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        let c = F16::from_f32(0.125);
+        // 1.5·2.25 + 0.125 = 3.5 exactly.
+        assert_eq!(a.mul_add(b, c).to_f32(), 3.5);
+    }
+
+    #[test]
+    fn half_ukernel_runs_and_counts() {
+        let r = fma_half(1000);
+        assert_eq!(r.flops, 1000 * 16 * 2);
+        assert!(r.checksum.is_finite());
+        assert!(r.checksum > 0.0, "accumulators alive: {}", r.checksum);
+    }
+
+    #[test]
+    fn half_chains_stagnate_at_rounding_equilibria() {
+        // In exact arithmetic x ← m·x + c converges to c/(1−m) ≈ 0.205,
+        // but in half precision each chain *stagnates* as soon as the net
+        // update falls below half an ulp — a genuinely half-precision
+        // behaviour (f32 chains would keep contracting). The stagnation
+        // points depend on the starting values, so the checksum sits well
+        // above the analytic fixed point, and further iterations change
+        // nothing.
+        let r1 = fma_half(100_000);
+        let r2 = fma_half(200_000);
+        assert!(r1.checksum.is_finite());
+        assert!(
+            r1.checksum > 16.0 * 0.21 && r1.checksum < 16.0 * 1.16,
+            "between the fixed point and the starts: {}",
+            r1.checksum
+        );
+        assert_eq!(r1.checksum, r2.checksum, "fully stagnated");
+    }
+}

@@ -1,0 +1,279 @@
+//! Geometric multigrid for the HPCG operator.
+//!
+//! Reference HPCG is not a plain SymGS-preconditioned CG: its
+//! preconditioner is a 4-level V-cycle (SymGS pre-smooth, restrict to a
+//! coarser 27-point grid, recurse, prolongate, SymGS post-smooth). This
+//! module implements that hierarchy for real on grids with even
+//! dimensions, matching HPCG's injection restriction (every second point).
+
+use crate::cg::{build_hpcg_matrix, symgs};
+use crate::matrix::CsrMatrix;
+
+/// One level of the multigrid hierarchy.
+pub struct MgLevel {
+    /// The 27-point operator at this level.
+    pub matrix: CsrMatrix,
+    /// Grid dimensions at this level.
+    pub dims: (usize, usize, usize),
+    /// Map from coarse index to the fine index it injects from/to
+    /// (empty on the coarsest level).
+    pub coarse_to_fine: Vec<usize>,
+}
+
+/// The multigrid hierarchy, finest level first.
+pub struct MgHierarchy {
+    /// Levels, finest first.
+    pub levels: Vec<MgLevel>,
+}
+
+impl MgHierarchy {
+    /// Build up to `max_levels` levels from an `nx × ny × nz` fine grid.
+    /// Coarsening halves each dimension and stops when any dimension is
+    /// odd or would drop below 2 (HPCG requires dimensions divisible by 8
+    /// for its 4 levels).
+    ///
+    /// # Panics
+    /// Panics on a degenerate grid.
+    pub fn build(nx: usize, ny: usize, nz: usize, max_levels: usize) -> Self {
+        assert!(nx >= 2 && ny >= 2 && nz >= 2, "degenerate grid");
+        assert!(max_levels >= 1, "need at least one level");
+        let mut levels = Vec::new();
+        let (mut cx, mut cy, mut cz) = (nx, ny, nz);
+        loop {
+            let matrix = build_hpcg_matrix(cx, cy, cz);
+            let can_coarsen = levels.len() + 1 < max_levels
+                && cx % 2 == 0
+                && cy % 2 == 0
+                && cz % 2 == 0
+                && cx >= 4
+                && cy >= 4
+                && cz >= 4;
+            let coarse_to_fine = if can_coarsen {
+                // Injection: coarse (i,j,k) <- fine (2i, 2j, 2k).
+                let fine_id = |x: usize, y: usize, z: usize| (z * cy + y) * cx + x;
+                let (hx, hy, hz) = (cx / 2, cy / 2, cz / 2);
+                let mut map = Vec::with_capacity(hx * hy * hz);
+                for z in 0..hz {
+                    for y in 0..hy {
+                        for x in 0..hx {
+                            map.push(fine_id(2 * x, 2 * y, 2 * z));
+                        }
+                    }
+                }
+                map
+            } else {
+                Vec::new()
+            };
+            let stop = coarse_to_fine.is_empty();
+            levels.push(MgLevel {
+                matrix,
+                dims: (cx, cy, cz),
+                coarse_to_fine,
+            });
+            if stop {
+                break;
+            }
+            cx /= 2;
+            cy /= 2;
+            cz /= 2;
+        }
+        Self { levels }
+    }
+
+    /// Number of levels actually built.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Apply one V-cycle to approximately solve `A₀·x = r` (x in/out,
+    /// starting from the provided initial guess).
+    pub fn v_cycle(&self, r: &[f64], x: &mut [f64]) {
+        self.cycle_at(0, r, x);
+    }
+
+    fn cycle_at(&self, level: usize, r: &[f64], x: &mut [f64]) {
+        let lvl = &self.levels[level];
+        let a = &lvl.matrix;
+        // Pre-smooth.
+        symgs(a, r, x);
+        if level + 1 >= self.levels.len() {
+            return;
+        }
+        // Fine residual: res = r − A·x.
+        let mut ax = vec![0.0; a.n];
+        a.spmv(x, &mut ax);
+        let res: Vec<f64> = r.iter().zip(&ax).map(|(r, ax)| r - ax).collect();
+        // Restrict by injection.
+        let coarse_n = self.levels[level + 1].matrix.n;
+        let mut rc = vec![0.0; coarse_n];
+        for (c, &f) in lvl.coarse_to_fine.iter().enumerate() {
+            rc[c] = res[f];
+        }
+        // Recurse from a zero initial guess.
+        let mut xc = vec![0.0; coarse_n];
+        self.cycle_at(level + 1, &rc, &mut xc);
+        // Prolongate (injection transpose) and correct.
+        for (c, &f) in lvl.coarse_to_fine.iter().enumerate() {
+            x[f] += xc[c];
+        }
+        // Post-smooth.
+        symgs(a, r, x);
+    }
+
+    /// Flops of one V-cycle, following HPCG's counting: per level,
+    /// 2 SymGS sweeps (4·nnz each... 2 × 4·nnz) + one SpMV (2·nnz).
+    pub fn v_cycle_flops(&self) -> f64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let nnz = l.matrix.nnz() as f64;
+                if i + 1 < self.levels.len() {
+                    2.0 * 4.0 * nnz + 2.0 * nnz
+                } else {
+                    4.0 * nnz
+                }
+            })
+            .sum()
+    }
+}
+
+/// MG-preconditioned CG on the finest level of a hierarchy, mirroring
+/// reference HPCG's solver loop. Returns `(iterations, relative_residual)`.
+pub fn mg_pcg(h: &MgHierarchy, b: &[f64], max_iters: usize, tol: f64) -> (usize, f64) {
+    use crate::matrix::{axpy, dot, norm2};
+    let a = &h.levels[0].matrix;
+    let n = a.n;
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return (0, 0.0);
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    h.v_cycle(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    let mut rel = 1.0;
+    for iter in 1..=max_iters {
+        a.spmv(&p, &mut ap);
+        let alpha = rz / dot(&p, &ap);
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        rel = norm2(&r) / b_norm;
+        if rel < tol {
+            return (iter, rel);
+        }
+        z.iter_mut().for_each(|v| *v = 0.0);
+        h.v_cycle(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+    (max_iters, rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg_solve;
+    use crate::matrix::norm2;
+
+    #[test]
+    fn hierarchy_depth_matches_hpcg() {
+        // 16³ coarsens 16 → 8 → 4 → 2: the 4 levels HPCG requires (8 | n).
+        let h = MgHierarchy::build(16, 16, 16, 4);
+        assert_eq!(h.depth(), 4);
+        assert_eq!(h.levels[0].dims, (16, 16, 16));
+        assert_eq!(h.levels[1].dims, (8, 8, 8));
+        assert_eq!(h.levels[2].dims, (4, 4, 4));
+        assert_eq!(h.levels[3].dims, (2, 2, 2));
+        // 24³: 24 → 12 → 6 → 3; 3 is odd so coarsening stops there.
+        let h = MgHierarchy::build(24, 24, 24, 6);
+        assert_eq!(h.depth(), 4);
+        assert_eq!(h.levels[3].dims, (3, 3, 3));
+        // max_levels caps the depth.
+        assert_eq!(MgHierarchy::build(16, 16, 16, 2).depth(), 2);
+    }
+
+    #[test]
+    fn injection_map_is_valid() {
+        let h = MgHierarchy::build(8, 8, 8, 3);
+        for (lvl, next) in h.levels.iter().zip(h.levels.iter().skip(1)) {
+            assert_eq!(lvl.coarse_to_fine.len(), next.matrix.n);
+            let fine_n = lvl.matrix.n;
+            assert!(lvl.coarse_to_fine.iter().all(|&f| f < fine_n));
+            // Injective.
+            let mut sorted = lvl.coarse_to_fine.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), next.matrix.n);
+        }
+    }
+
+    #[test]
+    fn v_cycle_reduces_residual_more_than_symgs() {
+        let h = MgHierarchy::build(16, 16, 16, 4);
+        let a = &h.levels[0].matrix;
+        let b = vec![1.0; a.n];
+        let residual_after = |x: &[f64]| {
+            let mut ax = vec![0.0; a.n];
+            a.spmv(x, &mut ax);
+            norm2(&b.iter().zip(&ax).map(|(b, ax)| b - ax).collect::<Vec<_>>())
+        };
+        let mut x_mg = vec![0.0; a.n];
+        h.v_cycle(&b, &mut x_mg);
+        let mut x_gs = vec![0.0; a.n];
+        crate::cg::symgs(a, &b, &mut x_gs);
+        assert!(
+            residual_after(&x_mg) < residual_after(&x_gs),
+            "one V-cycle beats one SymGS sweep"
+        );
+    }
+
+    #[test]
+    fn mg_pcg_converges_faster_than_symgs_pcg() {
+        let h = MgHierarchy::build(16, 16, 16, 4);
+        let b: Vec<f64> = (0..h.levels[0].matrix.n)
+            .map(|i| ((i % 11) as f64) - 5.0)
+            .collect();
+        let (mg_iters, mg_rel) = mg_pcg(&h, &b, 100, 1e-9);
+        assert!(mg_rel < 1e-9, "MG-PCG converged: {mg_rel}");
+        let symgs_run = cg_solve(&h.levels[0].matrix, &b, 100, 1e-9, true);
+        assert!(
+            mg_iters <= symgs_run.iterations,
+            "MG ({mg_iters}) ≤ SymGS ({})",
+            symgs_run.iterations
+        );
+    }
+
+    #[test]
+    fn v_cycle_flops_are_dominated_by_the_fine_level() {
+        let h = MgHierarchy::build(16, 16, 16, 4);
+        let total = h.v_cycle_flops();
+        let fine_nnz = h.levels[0].matrix.nnz() as f64;
+        // Fine level contributes 10·nnz of the total; coarser levels decay
+        // by ~8× each, so the fine share is > 85 %.
+        assert!(total > 10.0 * fine_nnz);
+        assert!(10.0 * fine_nnz / total > 0.85, "fine share {}", 10.0 * fine_nnz / total);
+    }
+
+    #[test]
+    fn zero_rhs_trivial() {
+        let h = MgHierarchy::build(8, 8, 8, 4);
+        let (iters, rel) = mg_pcg(&h, &vec![0.0; h.levels[0].matrix.n], 10, 1e-12);
+        assert_eq!(iters, 0);
+        assert_eq!(rel, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate grid")]
+    fn tiny_grid_rejected() {
+        MgHierarchy::build(1, 8, 8, 2);
+    }
+}

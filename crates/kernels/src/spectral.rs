@@ -1,0 +1,290 @@
+//! Spectral-transform kernels — the OpenIFS proxy.
+//!
+//! IFS/OpenIFS advances the atmosphere in spectral space: each time step
+//! performs Fourier transforms along latitude circles, Legendre transforms
+//! in the meridional direction (dense matrix products), and a transposition
+//! (MPI alltoall) between the two. This module implements the computational
+//! pieces for real: an iterative radix-2 complex FFT and a dense
+//! Legendre-like projection, with exact operation counts.
+
+use std::f64::consts::PI;
+
+/// A complex number as `(re, im)` — enough for the FFT without pulling in a
+/// dependency.
+pub type Complex = (f64, f64);
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `inverse` selects the
+/// inverse transform (normalized by `1/n`).
+///
+/// # Panics
+/// Panics unless the length is a power of two.
+pub fn fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = (1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = c_mul(chunk[i + half], w);
+                chunk[i] = c_add(u, v);
+                chunk[i + half] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for d in data.iter_mut() {
+            d.0 *= inv_n;
+            d.1 *= inv_n;
+        }
+    }
+}
+
+/// Flop count of a radix-2 FFT of length `n`: `5·n·log₂n` (the standard
+/// convention counting one butterfly as 10 flops per pair).
+pub fn fft_flops(n: usize) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        5.0 * n as f64 * (n as f64).log2()
+    }
+}
+
+/// Naive DFT used as the test oracle.
+pub fn dft_reference(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![(0.0, 0.0); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (t, &x) in data.iter().enumerate() {
+            let ang = sign * 2.0 * PI * (k * t) as f64 / n as f64;
+            *o = c_add(*o, c_mul(x, (ang.cos(), ang.sin())));
+        }
+    }
+    if inverse {
+        for o in out.iter_mut() {
+            o.0 /= n as f64;
+            o.1 /= n as f64;
+        }
+    }
+    out
+}
+
+/// A dense "Legendre" projection: spectral coefficients ↔ grid values along
+/// a meridian, implemented as a matrix product against a precomputed basis
+/// of orthogonal polynomials on Gauss-like latitudes.
+#[derive(Debug, Clone)]
+pub struct LegendreTransform {
+    /// Truncation (number of retained modes).
+    pub modes: usize,
+    /// Latitude points.
+    pub lats: usize,
+    /// Basis matrix `P[lat][mode]` = Pₘ(sin φ_lat).
+    basis: Vec<f64>,
+}
+
+impl LegendreTransform {
+    /// Build a transform with `modes` polynomials on `lats` latitudes
+    /// (uniform in sin φ, which keeps the recurrence well conditioned).
+    pub fn new(modes: usize, lats: usize) -> Self {
+        assert!(modes >= 1 && lats >= modes, "need lats ≥ modes ≥ 1");
+        let mut basis = vec![0.0; lats * modes];
+        for l in 0..lats {
+            let x = -1.0 + 2.0 * (l as f64 + 0.5) / lats as f64;
+            // Legendre recurrence: (n+1)P_{n+1} = (2n+1)xP_n − nP_{n−1}.
+            let mut p0 = 1.0;
+            let mut p1 = x;
+            for m in 0..modes {
+                let val = if m == 0 { p0 } else { p1 };
+                basis[l * modes + m] = val;
+                if m >= 1 {
+                    let n = m as f64;
+                    let p2 = ((2.0 * n + 1.0) * x * p1 - n * p0) / (n + 1.0);
+                    p0 = p1;
+                    p1 = p2;
+                }
+            }
+        }
+        Self { modes, lats, basis }
+    }
+
+    /// Synthesis: grid values from spectral coefficients.
+    pub fn synthesize(&self, coeffs: &[f64]) -> Vec<f64> {
+        assert_eq!(coeffs.len(), self.modes, "coefficient count mismatch");
+        (0..self.lats)
+            .map(|l| {
+                (0..self.modes)
+                    .map(|m| self.basis[l * self.modes + m] * coeffs[m])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Analysis: least-squares projection of grid values onto the modes
+    /// (normal equations with the quadrature weight `2/lats`).
+    pub fn analyze(&self, grid: &[f64]) -> Vec<f64> {
+        assert_eq!(grid.len(), self.lats, "grid length mismatch");
+        // Orthogonality: ∫P_m P_n ≈ δ_mn · 2/(2m+1); midpoint quadrature.
+        let w = 2.0 / self.lats as f64;
+        (0..self.modes)
+            .map(|m| {
+                let norm = 2.0 / (2.0 * m as f64 + 1.0);
+                let proj: f64 = (0..self.lats)
+                    .map(|l| self.basis[l * self.modes + m] * grid[l])
+                    .sum::<f64>()
+                    * w;
+                proj / norm
+            })
+            .collect()
+    }
+
+    /// Flops for one synthesis or analysis: `2 · modes · lats`.
+    pub fn flops(&self) -> f64 {
+        2.0 * self.modes as f64 * self.lats as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::Pcg32;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = Pcg32::seeded(seed);
+        (0..n)
+            .map(|_| (rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_dft() {
+        for n in [2usize, 4, 8, 64] {
+            let sig = random_signal(n, 1);
+            let mut got = sig.clone();
+            fft(&mut got, false);
+            let want = dft_reference(&sig, false);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.0 - w.0).abs() < 1e-9 && (g.1 - w.1).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_is_identity() {
+        let sig = random_signal(256, 2);
+        let mut data = sig.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (d, s) in data.iter().zip(&sig) {
+            assert!((d.0 - s.0).abs() < 1e-10 && (d.1 - s.1).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![(0.0, 0.0); 16];
+        data[0] = (1.0, 0.0);
+        fft(&mut data, false);
+        for d in &data {
+            assert!((d.0 - 1.0).abs() < 1e-12 && d.1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let sig = random_signal(128, 3);
+        let time_energy: f64 = sig.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let mut freq = sig.clone();
+        fft(&mut freq, false);
+        let freq_energy: f64 =
+            freq.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft(&mut data, false);
+    }
+
+    #[test]
+    fn legendre_roundtrip_recovers_smooth_fields() {
+        let t = LegendreTransform::new(8, 512);
+        // A field that lives entirely in the retained modes.
+        let coeffs = vec![1.0, 0.5, -0.3, 0.2, 0.0, 0.1, -0.05, 0.02];
+        let grid = t.synthesize(&coeffs);
+        let got = t.analyze(&grid);
+        for (g, c) in got.iter().zip(&coeffs) {
+            assert!((g - c).abs() < 1e-2, "mode error {g} vs {c}");
+        }
+    }
+
+    #[test]
+    fn legendre_basis_orthogonality() {
+        let t = LegendreTransform::new(6, 2048);
+        let w = 2.0 / t.lats as f64;
+        for m in 0..6 {
+            for n in 0..6 {
+                let dot: f64 = (0..t.lats)
+                    .map(|l| t.basis[l * 6 + m] * t.basis[l * 6 + n])
+                    .sum::<f64>()
+                    * w;
+                let expect = if m == n { 2.0 / (2.0 * m as f64 + 1.0) } else { 0.0 };
+                assert!(
+                    (dot - expect).abs() < 1e-3,
+                    "⟨P{m},P{n}⟩ = {dot}, want {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flop_formulas() {
+        assert_eq!(fft_flops(1024), 5.0 * 1024.0 * 10.0);
+        let t = LegendreTransform::new(10, 100);
+        assert_eq!(t.flops(), 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lats ≥ modes")]
+    fn undersampled_transform_rejected() {
+        LegendreTransform::new(10, 5);
+    }
+}

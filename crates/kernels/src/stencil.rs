@@ -1,0 +1,324 @@
+//! Structured-grid stencil kernels — the NEMO and WRF proxies.
+//!
+//! * [`OceanGrid`] — a 2-D shallow-water-like update on an Arakawa-C-style
+//!   grid (NEMO's horizontal structure): gravity-wave + advection terms,
+//!   periodic east–west like a global ocean.
+//! * [`AtmosGrid`] — a 3-D advection–diffusion update (WRF's mesoscale
+//!   dynamics proxy) plus the per-hour output-frame serialization the WRF
+//!   study toggles on and off.
+
+use rayon::prelude::*;
+
+/// A 2-D ocean state on an `nx × ny` C-grid: surface height `eta` and
+/// velocities `u`, `v`.
+#[derive(Debug, Clone)]
+pub struct OceanGrid {
+    /// East–west points.
+    pub nx: usize,
+    /// North–south points.
+    pub ny: usize,
+    /// Surface elevation.
+    pub eta: Vec<f64>,
+    /// Zonal velocity.
+    pub u: Vec<f64>,
+    /// Meridional velocity.
+    pub v: Vec<f64>,
+}
+
+/// Gravitational acceleration (m/s²).
+const G: f64 = 9.81;
+/// Resting depth (m).
+const H: f64 = 100.0;
+
+impl OceanGrid {
+    /// A grid at rest with a Gaussian elevation bump in the middle.
+    pub fn with_bump(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 4 && ny >= 4, "grid too small");
+        let mut eta = vec![0.0; nx * ny];
+        let (cx, cy) = (nx as f64 / 2.0, ny as f64 / 2.0);
+        let sigma = nx.min(ny) as f64 / 8.0;
+        for j in 0..ny {
+            for i in 0..nx {
+                let d2 = ((i as f64 - cx).powi(2) + (j as f64 - cy).powi(2)) / (2.0 * sigma * sigma);
+                eta[j * nx + i] = (-d2).exp();
+            }
+        }
+        Self {
+            nx,
+            ny,
+            eta,
+            u: vec![0.0; nx * ny],
+            v: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Flat index of grid point `(i, j)`.
+    #[inline]
+    pub fn id(&self, i: usize, j: usize) -> usize {
+        j * self.nx + i
+    }
+
+    /// One leapfrog-style shallow-water step with time step `dt` and grid
+    /// spacing `dx`. Periodic in x (east–west), closed walls in y.
+    /// Returns `(flops, bytes)` executed.
+    pub fn step(&mut self, dt: f64, dx: f64) -> (u64, u64) {
+        let (nx, ny) = (self.nx, self.ny);
+        let c = dt / dx;
+        // Height update from velocity divergence.
+        let eta_old = self.eta.clone();
+        let u = &self.u;
+        let v = &self.v;
+        self.eta
+            .par_chunks_mut(nx)
+            .enumerate()
+            .for_each(|(j, row)| {
+                for i in 0..nx {
+                    let ip = (i + 1) % nx;
+                    let du = u[j * nx + ip] - u[j * nx + i];
+                    let dv = if j + 1 < ny {
+                        v[(j + 1) * nx + i] - v[j * nx + i]
+                    } else {
+                        -v[j * nx + i]
+                    };
+                    row[i] -= c * H * (du + dv);
+                }
+            });
+        // Velocity update from pressure gradient.
+        let eta = &self.eta;
+        self.u
+            .par_chunks_mut(nx)
+            .enumerate()
+            .for_each(|(j, row)| {
+                for i in 0..nx {
+                    let im = (i + nx - 1) % nx;
+                    row[i] -= c * G * (eta[j * nx + i] - eta[j * nx + im]);
+                }
+            });
+        self.v
+            .par_chunks_mut(nx)
+            .enumerate()
+            .for_each(|(j, row)| {
+                if j == 0 {
+                    for r in row.iter_mut() {
+                        *r = 0.0;
+                    }
+                } else {
+                    for i in 0..nx {
+                        row[i] -= c * G * (eta[j * nx + i] - eta[(j - 1) * nx + i]);
+                    }
+                }
+            });
+        let _ = eta_old;
+        let cells = (nx * ny) as u64;
+        // ~10 flops and 7 f64 touches per cell across the three sweeps.
+        (cells * 10, cells * 7 * 8)
+    }
+
+    /// Total fluid volume (∝ mean elevation) — conserved by the periodic /
+    /// wall boundary scheme up to round-off.
+    pub fn total_volume(&self) -> f64 {
+        self.eta.iter().sum()
+    }
+
+    /// Total energy (potential + kinetic), used as a stability diagnostic.
+    pub fn energy(&self) -> f64 {
+        let pe: f64 = self.eta.iter().map(|&e| 0.5 * G * e * e).sum();
+        let ke: f64 = self
+            .u
+            .iter()
+            .zip(&self.v)
+            .map(|(&u, &v)| 0.5 * H * (u * u + v * v))
+            .sum();
+        pe + ke
+    }
+}
+
+/// A 3-D atmospheric field on an `nx × ny × nz` grid.
+#[derive(Debug, Clone)]
+pub struct AtmosGrid {
+    /// East–west points.
+    pub nx: usize,
+    /// North–south points.
+    pub ny: usize,
+    /// Vertical levels.
+    pub nz: usize,
+    /// Scalar field (potential temperature proxy).
+    pub theta: Vec<f64>,
+}
+
+impl AtmosGrid {
+    /// Initialize with a smooth thermal bubble.
+    pub fn with_bubble(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 4 && ny >= 4 && nz >= 2, "grid too small");
+        let mut theta = vec![300.0; nx * ny * nz];
+        let (cx, cy) = (nx as f64 / 2.0, ny as f64 / 2.0);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let d2 = (i as f64 - cx).powi(2) + (j as f64 - cy).powi(2);
+                    theta[(k * ny + j) * nx + i] += 2.0 * (-d2 / (nx as f64)).exp();
+                }
+            }
+        }
+        Self { nx, ny, nz, theta }
+    }
+
+    /// One upwind advection + diffusion step with constant wind `(uw, vw)`
+    /// and diffusivity `kappa` (all in grid units, CFL ≤ 1 expected).
+    /// Returns `(flops, bytes)`.
+    pub fn step(&mut self, uw: f64, vw: f64, kappa: f64) -> (u64, u64) {
+        assert!(uw.abs() <= 1.0 && vw.abs() <= 1.0, "CFL violation");
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let old = self.theta.clone();
+        self.theta
+            .par_chunks_mut(nx * ny)
+            .enumerate()
+            .for_each(|(k, level)| {
+                let base = k * ny * nx;
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let idx = j * nx + i;
+                        let c = old[base + idx];
+                        let w = old[base + j * nx + (i + nx - 1) % nx];
+                        let e = old[base + j * nx + (i + 1) % nx];
+                        let s = old[base + ((j + ny - 1) % ny) * nx + i];
+                        let n = old[base + ((j + 1) % ny) * nx + i];
+                        // Upwind advection (positive wind assumed from W/S).
+                        let adv = uw * (c - w) + vw * (c - s);
+                        let diff = kappa * (w + e + s + n - 4.0 * c);
+                        level[idx] = c - adv + diff;
+                    }
+                }
+            });
+        let cells = (nx * ny * nz) as u64;
+        (cells * 12, cells * 6 * 8)
+    }
+
+    /// Mean field value — conserved by the periodic scheme when `uw = vw`
+    /// advection is conservative and diffusion is symmetric.
+    pub fn mean(&self) -> f64 {
+        self.theta.iter().sum::<f64>() / self.theta.len() as f64
+    }
+
+    /// Serialize one output frame (WRF's hourly history write). Returns the
+    /// byte count of the frame.
+    pub fn frame_bytes(&self) -> u64 {
+        (self.theta.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ocean_volume_is_conserved() {
+        let mut g = OceanGrid::with_bump(32, 32);
+        let v0 = g.total_volume();
+        for _ in 0..100 {
+            g.step(0.001, 1.0);
+        }
+        let v1 = g.total_volume();
+        assert!(
+            (v1 - v0).abs() < 1e-9 * v0.abs().max(1.0),
+            "volume drifted {v0} -> {v1}"
+        );
+    }
+
+    #[test]
+    fn ocean_waves_propagate() {
+        let mut g = OceanGrid::with_bump(32, 32);
+        let centre0 = g.eta[g.id(16, 16)];
+        for _ in 0..200 {
+            g.step(0.001, 1.0);
+        }
+        let centre1 = g.eta[g.id(16, 16)];
+        assert!(centre1 < centre0, "bump must radiate outwards");
+        assert!(g.eta.iter().all(|e| e.is_finite()), "stable integration");
+    }
+
+    #[test]
+    fn ocean_energy_stays_bounded() {
+        let mut g = OceanGrid::with_bump(24, 24);
+        let e0 = g.energy();
+        for _ in 0..500 {
+            g.step(0.0005, 1.0);
+        }
+        let e1 = g.energy();
+        assert!(e1.is_finite() && e1 < 10.0 * e0, "energy blew up: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn ocean_flop_accounting() {
+        let mut g = OceanGrid::with_bump(16, 8);
+        let (flops, bytes) = g.step(0.001, 1.0);
+        assert_eq!(flops, 16 * 8 * 10);
+        assert_eq!(bytes, 16 * 8 * 7 * 8);
+    }
+
+    #[test]
+    fn atmos_mean_is_conserved_under_pure_diffusion() {
+        let mut g = AtmosGrid::with_bubble(16, 16, 4);
+        let m0 = g.mean();
+        for _ in 0..100 {
+            g.step(0.0, 0.0, 0.1);
+        }
+        let m1 = g.mean();
+        assert!((m1 - m0).abs() < 1e-9, "mean drifted {m0} -> {m1}");
+    }
+
+    #[test]
+    fn atmos_diffusion_flattens_the_bubble() {
+        let mut g = AtmosGrid::with_bubble(16, 16, 2);
+        let spread0: f64 = {
+            let m = g.mean();
+            g.theta.iter().map(|&t| (t - m).powi(2)).sum()
+        };
+        for _ in 0..200 {
+            g.step(0.0, 0.0, 0.2);
+        }
+        let spread1: f64 = {
+            let m = g.mean();
+            g.theta.iter().map(|&t| (t - m).powi(2)).sum()
+        };
+        assert!(spread1 < spread0 / 2.0, "diffusion must flatten: {spread0} -> {spread1}");
+    }
+
+    #[test]
+    fn atmos_advection_moves_the_bubble() {
+        let mut g = AtmosGrid::with_bubble(32, 32, 2);
+        let peak_i = |g: &AtmosGrid| {
+            let mut best = (0usize, f64::MIN);
+            for i in 0..g.nx {
+                let v = g.theta[16 * g.nx + i];
+                if v > best.1 {
+                    best = (i, v);
+                }
+            }
+            best.0
+        };
+        let before = peak_i(&g);
+        for _ in 0..8 {
+            g.step(1.0, 0.0, 0.0);
+        }
+        let after = peak_i(&g);
+        assert_eq!(
+            (before + 8) % g.nx,
+            after,
+            "peak must advect 8 cells east"
+        );
+    }
+
+    #[test]
+    fn frame_bytes_match_field_size() {
+        let g = AtmosGrid::with_bubble(8, 8, 4);
+        assert_eq!(g.frame_bytes(), 8 * 8 * 4 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "CFL")]
+    fn cfl_violation_rejected() {
+        let mut g = AtmosGrid::with_bubble(8, 8, 2);
+        g.step(1.5, 0.0, 0.0);
+    }
+}

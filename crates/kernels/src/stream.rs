@@ -1,0 +1,244 @@
+//! The STREAM kernels: Copy, Scale, Add, Triad.
+//!
+//! Faithful ports of McCalpin's benchmark bodies. Each kernel reports the
+//! bytes it moves per element (the STREAM counting convention: read + write
+//! of each touched array, no write-allocate accounting), so harnesses can
+//! convert measured time into the bandwidth number STREAM prints.
+
+use rayon::prelude::*;
+
+/// The four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]`
+    Copy,
+    /// `b[i] = q·c[i]`
+    Scale,
+    /// `c[i] = a[i] + b[i]`
+    Add,
+    /// `a[i] = b[i] + q·c[i]`
+    Triad,
+}
+
+impl StreamKernel {
+    /// Bytes moved per element under STREAM's counting rules.
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16,
+            StreamKernel::Add | StreamKernel::Triad => 24,
+        }
+    }
+
+    /// Flops per element.
+    pub fn flops_per_element(self) -> usize {
+        match self {
+            StreamKernel::Copy => 0,
+            StreamKernel::Scale | StreamKernel::Add => 1,
+            StreamKernel::Triad => 2,
+        }
+    }
+
+    /// All kernels in STREAM's canonical order.
+    pub const ALL: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
+}
+
+/// Working arrays for a STREAM run.
+pub struct StreamArrays {
+    /// Array `a`.
+    pub a: Vec<f64>,
+    /// Array `b`.
+    pub b: Vec<f64>,
+    /// Array `c`.
+    pub c: Vec<f64>,
+}
+
+impl StreamArrays {
+    /// Allocate and initialize as the reference code does
+    /// (`a = 1, b = 2, c = 0`).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty STREAM arrays");
+        Self {
+            a: vec![1.0; n],
+            b: vec![2.0; n],
+            c: vec![0.0; n],
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Run one kernel sequentially with scalar `q = 3.0`.
+    pub fn run_sequential(&mut self, k: StreamKernel) {
+        let q = 3.0;
+        match k {
+            StreamKernel::Copy => {
+                for (c, a) in self.c.iter_mut().zip(&self.a) {
+                    *c = *a;
+                }
+            }
+            StreamKernel::Scale => {
+                for (b, c) in self.b.iter_mut().zip(&self.c) {
+                    *b = q * *c;
+                }
+            }
+            StreamKernel::Add => {
+                for ((c, a), b) in self.c.iter_mut().zip(&self.a).zip(&self.b) {
+                    *c = *a + *b;
+                }
+            }
+            StreamKernel::Triad => {
+                for ((a, b), c) in self.a.iter_mut().zip(&self.b).zip(&self.c) {
+                    *a = *b + q * *c;
+                }
+            }
+        }
+    }
+
+    /// Run one kernel with rayon (the OpenMP-parallel analogue).
+    pub fn run_parallel(&mut self, k: StreamKernel) {
+        let q = 3.0;
+        match k {
+            StreamKernel::Copy => {
+                self.c
+                    .par_iter_mut()
+                    .zip(&self.a)
+                    .for_each(|(c, a)| *c = *a);
+            }
+            StreamKernel::Scale => {
+                self.b
+                    .par_iter_mut()
+                    .zip(&self.c)
+                    .for_each(|(b, c)| *b = q * *c);
+            }
+            StreamKernel::Add => {
+                self.c
+                    .par_iter_mut()
+                    .zip(&self.a)
+                    .zip(&self.b)
+                    .for_each(|((c, a), b)| *c = *a + *b);
+            }
+            StreamKernel::Triad => {
+                self.a
+                    .par_iter_mut()
+                    .zip(&self.b)
+                    .zip(&self.c)
+                    .for_each(|((a, b), c)| *a = *b + q * *c);
+            }
+        }
+    }
+
+    /// Verify array contents after the canonical Copy→Scale→Add→Triad
+    /// sequence repeated `reps` times, as STREAM's own checker does.
+    /// Returns the worst relative error.
+    pub fn verify(&self, reps: usize) -> f64 {
+        let (mut ea, mut eb, mut ec) = (1.0f64, 2.0f64, 0.0f64);
+        let q = 3.0;
+        for _ in 0..reps {
+            ec = ea;
+            eb = q * ec;
+            ec = ea + eb;
+            ea = eb + q * ec;
+        }
+        let err = |arr: &[f64], expect: f64| {
+            arr.iter()
+                .map(|&x| ((x - expect) / expect).abs())
+                .fold(0.0, f64::max)
+        };
+        err(&self.a, ea).max(err(&self.b, eb)).max(err(&self.c, ec))
+    }
+}
+
+/// Measure one kernel's host bandwidth in GB/s (best of `trials`).
+pub fn measure_bandwidth(
+    arrays: &mut StreamArrays,
+    k: StreamKernel,
+    trials: usize,
+    parallel: bool,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let bytes = (arrays.len() * k.bytes_per_element()) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = std::time::Instant::now();
+        if parallel {
+            arrays.run_parallel(k);
+        } else {
+            arrays.run_sequential(k);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    bytes / best / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_sequence_verifies_sequential() {
+        let mut s = StreamArrays::new(1000);
+        for _ in 0..3 {
+            for k in StreamKernel::ALL {
+                s.run_sequential(k);
+            }
+        }
+        assert!(s.verify(3) < 1e-13);
+    }
+
+    #[test]
+    fn canonical_sequence_verifies_parallel() {
+        let mut s = StreamArrays::new(100_000);
+        for _ in 0..2 {
+            for k in StreamKernel::ALL {
+                s.run_parallel(k);
+            }
+        }
+        assert!(s.verify(2) < 1e-13);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let mut seq = StreamArrays::new(10_000);
+        let mut par = StreamArrays::new(10_000);
+        for k in StreamKernel::ALL {
+            seq.run_sequential(k);
+            par.run_parallel(k);
+        }
+        assert_eq!(seq.a, par.a);
+        assert_eq!(seq.b, par.b);
+        assert_eq!(seq.c, par.c);
+    }
+
+    #[test]
+    fn byte_and_flop_counts() {
+        assert_eq!(StreamKernel::Copy.bytes_per_element(), 16);
+        assert_eq!(StreamKernel::Triad.bytes_per_element(), 24);
+        assert_eq!(StreamKernel::Copy.flops_per_element(), 0);
+        assert_eq!(StreamKernel::Triad.flops_per_element(), 2);
+    }
+
+    #[test]
+    fn measured_bandwidth_is_positive() {
+        let mut s = StreamArrays::new(200_000);
+        let bw = measure_bandwidth(&mut s, StreamKernel::Triad, 2, false);
+        assert!(bw > 0.1, "triad bandwidth {bw} GB/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty STREAM")]
+    fn zero_length_rejected() {
+        StreamArrays::new(0);
+    }
+}

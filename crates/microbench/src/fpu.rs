@@ -1,0 +1,161 @@
+//! Fig. 1 — the FPU µKernel: sustained one-core throughput, six variants.
+
+use arch::isa::Precision;
+use arch::machines::Machine;
+use simkit::series::{Figure, Series};
+
+/// Fraction of theoretical peak the hand-written assembly µKernel sustains.
+/// The paper: "the measurements match almost perfectly with the theoretical
+/// values of both machines".
+pub const SUSTAINED_FRACTION: f64 = 0.995;
+
+/// One bar of Fig. 1.
+#[derive(Debug, Clone)]
+pub struct FpuBar {
+    /// Machine name.
+    pub machine: String,
+    /// `true` for the vector variant, `false` for scalar.
+    pub vector: bool,
+    /// Datatype.
+    pub precision: Precision,
+    /// Sustained GFlop/s.
+    pub gflops: f64,
+    /// Percentage of the theoretical peak (the number printed on the bar).
+    pub pct_of_peak: f64,
+}
+
+/// Simulate the µKernel on one core of a machine. Variants the hardware
+/// cannot execute (half-precision vector arithmetic on Skylake) are absent.
+pub fn run_machine(machine: &Machine) -> Vec<FpuBar> {
+    let mut bars = Vec::new();
+    for &p in &Precision::ALL {
+        // Scalar variant: throughput independent of precision.
+        let scalar_peak = machine.core.peak_scalar().as_gflops();
+        bars.push(FpuBar {
+            machine: machine.name.clone(),
+            vector: false,
+            precision: p,
+            gflops: scalar_peak * SUSTAINED_FRACTION,
+            pct_of_peak: SUSTAINED_FRACTION * 100.0,
+        });
+        // Vector variant, when the ISA supports the precision.
+        if let Some(peak) = machine.core.peak_vector(p) {
+            bars.push(FpuBar {
+                machine: machine.name.clone(),
+                vector: true,
+                precision: p,
+                gflops: peak.as_gflops() * SUSTAINED_FRACTION,
+                pct_of_peak: SUSTAINED_FRACTION * 100.0,
+            });
+        }
+    }
+    bars
+}
+
+/// Build Fig. 1 for the two machines: x = precision (0 = half, 1 = single,
+/// 2 = double), one series per machine × {scalar, vector}.
+pub fn figure1(cte: &Machine, mn4: &Machine) -> Figure {
+    let mut fig = Figure::new(
+        "fig1",
+        "FPU µKernel sustained performance, one core",
+        "precision (0=half, 1=single, 2=double)",
+        "GFlop/s",
+    );
+    for m in [cte, mn4] {
+        let bars = run_machine(m);
+        for vector in [true, false] {
+            let label = format!("{} {}", m.name, if vector { "vector" } else { "scalar" });
+            let mut s = Series::new(label);
+            for bar in bars.iter().filter(|b| b.vector == vector) {
+                let x = match bar.precision {
+                    Precision::Half => 0.0,
+                    Precision::Single => 1.0,
+                    Precision::Double => 2.0,
+                };
+                s.push(x, bar.gflops);
+            }
+            fig.series.push(s);
+        }
+    }
+    fig
+}
+
+/// Host-side validation: run the real FMA kernels from [`kernels::fma`] and
+/// confirm the scalar:vector shape (vector ≥ scalar throughput).
+pub fn host_sanity_check() -> bool {
+    let iters = 2_000_000;
+    let (scalar, _) = kernels::fma::measure_gflops(kernels::fma::scalar_f64, iters);
+    let (vector, _) = kernels::fma::measure_gflops(kernels::fma::vector_f64, iters / 8);
+    vector > 0.0 && scalar > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::machines::{cte_arm, marenostrum4};
+
+    #[test]
+    fn a64fx_bars_match_theory() {
+        let bars = run_machine(&cte_arm());
+        // 3 scalar + 3 vector = 6 variants, like the paper.
+        assert_eq!(bars.len(), 6);
+        let vec_double = bars
+            .iter()
+            .find(|b| b.vector && b.precision == Precision::Double)
+            .unwrap();
+        assert!((vec_double.gflops - 70.4 * SUSTAINED_FRACTION).abs() < 0.1);
+        let vec_half = bars
+            .iter()
+            .find(|b| b.vector && b.precision == Precision::Half)
+            .unwrap();
+        assert!((vec_half.gflops - 281.6 * SUSTAINED_FRACTION).abs() < 0.3);
+    }
+
+    #[test]
+    fn skylake_lacks_vector_half() {
+        let bars = run_machine(&marenostrum4());
+        // 3 scalar + 2 vector (no FP16 arithmetic).
+        assert_eq!(bars.len(), 5);
+        assert!(!bars
+            .iter()
+            .any(|b| b.vector && b.precision == Precision::Half));
+    }
+
+    #[test]
+    fn percentages_are_near_100() {
+        for m in [cte_arm(), marenostrum4()] {
+            for bar in run_machine(&m) {
+                assert!((bar.pct_of_peak - 99.5).abs() < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_has_four_series() {
+        let fig = figure1(&cte_arm(), &marenostrum4());
+        assert_eq!(fig.series.len(), 4);
+        let cte_vec = fig.series_named("CTE-Arm vector").unwrap();
+        assert_eq!(cte_vec.points.len(), 3);
+        let mn4_vec = fig.series_named("MareNostrum 4 vector").unwrap();
+        assert_eq!(mn4_vec.points.len(), 2, "no FP16 vector point on MN4");
+    }
+
+    #[test]
+    fn sve_dp_beats_avx_dp_slightly() {
+        // 70.4 vs 67.2 GFlop/s: the CTE-Arm bar is ~5 % taller.
+        let fig = figure1(&cte_arm(), &marenostrum4());
+        let cte = fig.series_named("CTE-Arm vector").unwrap().y_at(2.0).unwrap();
+        let mn4 = fig
+            .series_named("MareNostrum 4 vector")
+            .unwrap()
+            .y_at(2.0)
+            .unwrap();
+        let ratio = cte / mn4;
+        assert!((ratio - 70.4 / 67.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_kernels_run() {
+        assert!(host_sanity_check());
+    }
+}

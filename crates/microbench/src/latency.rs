@@ -1,0 +1,174 @@
+//! OSU-style latency and message-rate micro-benchmarks.
+//!
+//! The companions of the bandwidth study in Section III-C: `osu_latency`
+//! (half round-trip time vs message size) and `osu_mbw_mr` (message rate
+//! for back-to-back small messages). The paper only shows bandwidth; these
+//! round out the suite with the same models, and the tests pin the
+//! latency-vs-bandwidth regimes (latency-bound below ~4 KiB, bandwidth-
+//! bound beyond the rendezvous threshold).
+
+use interconnect::network::Network;
+use interconnect::topology::{NodeId, Topology};
+use simkit::series::{Figure, Series};
+use simkit::units::Bytes;
+
+/// One latency sample.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyPoint {
+    /// Message size in bytes.
+    pub size: usize,
+    /// One-way latency in microseconds.
+    pub latency_us: f64,
+}
+
+/// Latency vs size between two nodes: `osu_latency`'s sweep
+/// (powers of two from 0 to `max_size`).
+pub fn latency_sweep<T: Topology>(
+    net: &Network<T>,
+    from: NodeId,
+    to: NodeId,
+    max_size: usize,
+) -> Vec<LatencyPoint> {
+    let mut out = vec![LatencyPoint {
+        size: 0,
+        latency_us: net.message_time(from, to, Bytes::ZERO).as_micros(),
+    }];
+    let mut size = 1usize;
+    while size <= max_size {
+        out.push(LatencyPoint {
+            size,
+            latency_us: net
+                .message_time(from, to, Bytes::new(size as f64))
+                .as_micros(),
+        });
+        size <<= 1;
+    }
+    out
+}
+
+/// Messages per second for back-to-back `size`-byte messages
+/// (`osu_mbw_mr` single-pair): the injection pipeline is limited by the
+/// per-message software overhead plus serialization.
+pub fn message_rate<T: Topology>(net: &Network<T>, from: NodeId, to: NodeId, size: usize) -> f64 {
+    let per_msg = net.link().sw_overhead.value()
+        + Bytes::new(size as f64).value() / net.link().bandwidth.value();
+    let _ = (from, to);
+    1.0 / per_msg
+}
+
+/// The latency figure for both machines' interconnects (nearest and
+/// farthest pairs on CTE-Arm, same-leaf and cross-spine on MN4).
+pub fn latency_figure() -> Figure {
+    use interconnect::fattree::FatTree;
+    use interconnect::link::LinkModel;
+    use interconnect::tofu::TofuD;
+    let tofu = Network::new(TofuD::cte_arm(), LinkModel::tofud());
+    let opa = Network::new(FatTree::marenostrum4(), LinkModel::omnipath());
+    let mut fig = Figure::new(
+        "ext_latency",
+        "Point-to-point latency vs message size",
+        "message size [B]",
+        "one-way latency [µs]",
+    );
+    let cases: Vec<(&str, Vec<LatencyPoint>)> = vec![
+        ("TofuD (1 hop)", latency_sweep(&tofu, NodeId(0), NodeId(1), 1 << 20)),
+        (
+            "TofuD (far pair)",
+            latency_sweep(&tofu, NodeId(0), NodeId(100), 1 << 20),
+        ),
+        (
+            "OmniPath (same leaf)",
+            latency_sweep(&opa, NodeId(0), NodeId(1), 1 << 20),
+        ),
+        (
+            "OmniPath (cross spine)",
+            latency_sweep(&opa, NodeId(0), NodeId(200), 1 << 20),
+        ),
+    ];
+    for (label, points) in cases {
+        let mut s = Series::new(label);
+        for p in points {
+            s.push(p.size as f64, p.latency_us);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interconnect::fattree::FatTree;
+    use interconnect::link::LinkModel;
+    use interconnect::tofu::TofuD;
+
+    fn tofu_net() -> Network<TofuD> {
+        Network::new(TofuD::cte_arm(), LinkModel::tofud())
+    }
+
+    #[test]
+    fn zero_byte_latency_is_microsecond_scale() {
+        let net = tofu_net();
+        let sweep = latency_sweep(&net, NodeId(0), NodeId(1), 8);
+        // ~1.2 µs software + 1 hop.
+        assert!((sweep[0].latency_us - 1.3).abs() < 0.2, "{}", sweep[0].latency_us);
+    }
+
+    #[test]
+    fn small_messages_are_latency_flat() {
+        // Below ~4 KiB the curve barely moves: serialization of 4 KiB at
+        // 6.8 GB/s is 0.6 µs vs 1.3 µs of fixed latency.
+        let net = tofu_net();
+        let sweep = latency_sweep(&net, NodeId(0), NodeId(1), 4096);
+        let l0 = sweep[0].latency_us;
+        let l4k = sweep.last().unwrap().latency_us;
+        assert!(l4k < 2.0 * l0, "{l0} -> {l4k}");
+    }
+
+    #[test]
+    fn large_messages_are_bandwidth_dominated() {
+        // At 1 MiB, serialization (≈154 µs at 6.8 GB/s) dwarfs latency.
+        let net = tofu_net();
+        let sweep = latency_sweep(&net, NodeId(0), NodeId(1), 1 << 20);
+        let big = sweep.last().unwrap();
+        let serialization_us = (1u64 << 20) as f64 / 6.8e9 * 1e6;
+        assert!((big.latency_us - serialization_us).abs() / serialization_us < 0.1);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_size() {
+        let net = tofu_net();
+        let sweep = latency_sweep(&net, NodeId(3), NodeId(90), 1 << 22);
+        for w in sweep.windows(2) {
+            assert!(w[1].latency_us >= w[0].latency_us);
+        }
+    }
+
+    #[test]
+    fn omnipath_has_lower_zero_byte_latency_but_tofu_wins_on_hops() {
+        let tofu = tofu_net();
+        let opa = Network::new(FatTree::marenostrum4(), LinkModel::omnipath());
+        let t0 = tofu.message_time(NodeId(0), NodeId(1), Bytes::ZERO).as_micros();
+        let o0 = opa.message_time(NodeId(0), NodeId(1), Bytes::ZERO).as_micros();
+        assert!(o0 < t0, "OmniPath software stack is leaner: {o0} vs {t0}");
+    }
+
+    #[test]
+    fn message_rate_is_sub_megahertz_small_and_drops_large() {
+        let net = tofu_net();
+        let small = message_rate(&net, NodeId(0), NodeId(1), 8);
+        let large = message_rate(&net, NodeId(0), NodeId(1), 1 << 20);
+        // ~1/1.2 µs ≈ 0.83 M msg/s for tiny messages.
+        assert!((700_000.0..1_000_000.0).contains(&small), "{small}");
+        assert!(large < small / 50.0, "large messages choke the rate");
+    }
+
+    #[test]
+    fn figure_has_four_series() {
+        let f = latency_figure();
+        assert_eq!(f.series.len(), 4);
+        for s in &f.series {
+            assert_eq!(s.points.len(), 22, "0 plus 2^0..2^20");
+        }
+    }
+}

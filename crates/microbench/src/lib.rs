@@ -1,0 +1,18 @@
+//! # microbench — the paper's micro-benchmark harnesses (Figs. 1–5)
+//!
+//! * [`fpu`] — the FPU µKernel study (Fig. 1): sustained scalar/vector
+//!   throughput at half/single/double precision on one core of each
+//!   machine, with the percent-of-peak annotations.
+//! * [`stream`] — the STREAM studies: OpenMP-only thread sweep (Fig. 2) and
+//!   the MPI+OpenMP rank×thread combinations (Fig. 3).
+//! * [`network`] — the OSU-style point-to-point studies: the all-pairs
+//!   bandwidth map at 256 B (Fig. 4, including the degraded receiver node)
+//!   and the bandwidth distribution across pair and message size (Fig. 5).
+
+#![warn(missing_docs)]
+
+pub mod fpu;
+pub mod latency;
+pub mod network;
+pub mod stream;
+pub mod variability;

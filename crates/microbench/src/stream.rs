@@ -1,0 +1,206 @@
+//! Figs. 2 & 3 — the STREAM Triad studies.
+
+use arch::cache::stream_min_elements;
+use arch::compiler::Language;
+use arch::machines::Machine;
+use simkit::series::{Figure, Series};
+
+/// STREAM array length used on each machine in the paper:
+/// 610 M elements (CTE-Arm) and 400 M (MareNostrum 4), both of which
+/// satisfy the `E ≥ max(10⁷, 4S/8)` rule.
+pub fn paper_elements(machine: &Machine) -> usize {
+    if machine.sockets == 1 {
+        610_000_000
+    } else {
+        400_000_000
+    }
+}
+
+/// Check a proposed element count against STREAM's sizing rule.
+pub fn elements_are_valid(machine: &Machine, elements: usize) -> bool {
+    elements >= stream_min_elements(machine.caches.llc_total(machine.cores_per_node()))
+}
+
+/// Fig. 2 — OpenMP-only Triad bandwidth vs thread count, C and Fortran,
+/// both machines, spread binding.
+pub fn figure2(cte: &Machine, mn4: &Machine) -> Figure {
+    let mut fig = Figure::new(
+        "fig2",
+        "STREAM Triad bandwidth with OpenMP (spread binding)",
+        "OpenMP threads",
+        "GB/s",
+    );
+    for m in [cte, mn4] {
+        for (lang, name) in [(Language::C, "C"), (Language::Fortran, "Fortran")] {
+            let mut s = Series::new(format!("{} ({name})", m.name));
+            for t in 1..=m.cores_per_node() {
+                s.push(t as f64, m.memory.stream_openmp(t, lang).as_gb_per_sec());
+            }
+            fig.series.push(s);
+        }
+    }
+    fig
+}
+
+/// One point of Fig. 3: a rank×thread combination.
+#[derive(Debug, Clone)]
+pub struct HybridPoint {
+    /// MPI ranks (≤ one per NUMA domain).
+    pub ranks: usize,
+    /// OpenMP threads per rank.
+    pub threads: usize,
+    /// Achieved bandwidth in GB/s.
+    pub gb_per_sec: f64,
+}
+
+/// The rank×thread sweep of Fig. 3 for one machine and language: 1 rank ×
+/// all cores up to one rank per NUMA domain × its cores.
+pub fn hybrid_sweep(machine: &Machine, lang: Language) -> Vec<HybridPoint> {
+    let domains = machine.memory.n_domains;
+    let cores = machine.cores_per_node();
+    (0..)
+        .map(|i| 1usize << i)
+        .take_while(|&r| r <= domains)
+        .map(|ranks| {
+            // Fill the node: ranks × threads = cores (1×48, 2×24, 4×12 on
+            // CTE-Arm; 1×48, 2×24 on MareNostrum 4), as plotted in Fig. 3.
+            let threads = cores / ranks;
+            HybridPoint {
+                ranks,
+                threads,
+                gb_per_sec: machine
+                    .memory
+                    .stream_mpi_omp(ranks, threads, lang)
+                    .as_gb_per_sec(),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 3 — MPI+OpenMP Triad bandwidth; x = MPI ranks.
+pub fn figure3(cte: &Machine, mn4: &Machine) -> Figure {
+    let mut fig = Figure::new(
+        "fig3",
+        "STREAM Triad bandwidth with MPI+OpenMP (one rank per NUMA domain)",
+        "MPI ranks",
+        "GB/s",
+    );
+    for m in [cte, mn4] {
+        for (lang, name) in [(Language::C, "C"), (Language::Fortran, "Fortran")] {
+            let mut s = Series::new(format!("{} ({name})", m.name));
+            for p in hybrid_sweep(m, lang) {
+                s.push(p.ranks as f64, p.gb_per_sec);
+            }
+            fig.series.push(s);
+        }
+    }
+    fig
+}
+
+/// Run the real Triad kernel (sequential + rayon) on the host at a small
+/// size, returning `(sequential_gbps, parallel_gbps)`.
+pub fn host_triad(elements: usize) -> (f64, f64) {
+    use kernels::stream::{measure_bandwidth, StreamArrays, StreamKernel};
+    let mut arrays = StreamArrays::new(elements);
+    let seq = measure_bandwidth(&mut arrays, StreamKernel::Triad, 3, false);
+    let par = measure_bandwidth(&mut arrays, StreamKernel::Triad, 3, true);
+    (seq, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::machines::{cte_arm, marenostrum4};
+
+    #[test]
+    fn paper_sizes_satisfy_stream_rule() {
+        let cte = cte_arm();
+        let mn4 = marenostrum4();
+        assert!(elements_are_valid(&cte, paper_elements(&cte)));
+        assert!(elements_are_valid(&mn4, paper_elements(&mn4)));
+        // And a deliberately small size fails.
+        assert!(!elements_are_valid(&cte, 1_000_000));
+    }
+
+    #[test]
+    fn fig2_peaks_match_paper() {
+        let fig = figure2(&cte_arm(), &marenostrum4());
+        let cte_c = fig.series_named("CTE-Arm (C)").unwrap();
+        assert!((cte_c.y_max().unwrap() - 292.0).abs() < 8.0);
+        assert_eq!(cte_c.argmax().unwrap(), 24.0, "peak at 24 threads");
+        let mn4_c = fig.series_named("MareNostrum 4 (C)").unwrap();
+        assert!((mn4_c.y_max().unwrap() - 201.2).abs() < 6.0);
+        assert_eq!(mn4_c.y_max(), mn4_c.y_at(48.0), "MN4 best at 48 threads");
+    }
+
+    #[test]
+    fn fig2_cte_c_faster_than_fortran() {
+        let fig = figure2(&cte_arm(), &marenostrum4());
+        let c = fig.series_named("CTE-Arm (C)").unwrap().y_max().unwrap();
+        let f = fig
+            .series_named("CTE-Arm (Fortran)")
+            .unwrap()
+            .y_max()
+            .unwrap();
+        let ratio = c / f;
+        assert!(ratio > 1.05 && ratio < 1.18, "C/Fortran {ratio}");
+    }
+
+    #[test]
+    fn fig3_cte_fortran_hits_862() {
+        let sweep = hybrid_sweep(&cte_arm(), Language::Fortran);
+        let best = sweep
+            .iter()
+            .map(|p| p.gb_per_sec)
+            .fold(0.0f64, f64::max);
+        assert!((best - 862.6).abs() < 3.0, "best {best}");
+        // Best configuration is 4 ranks × 12 threads.
+        let best_point = sweep
+            .iter()
+            .max_by(|a, b| a.gb_per_sec.partial_cmp(&b.gb_per_sec).unwrap())
+            .unwrap();
+        assert_eq!(best_point.ranks, 4);
+        assert_eq!(best_point.threads, 12);
+    }
+
+    #[test]
+    fn fig3_cte_c_stuck_at_421() {
+        let sweep = hybrid_sweep(&cte_arm(), Language::C);
+        let best = sweep.iter().map(|p| p.gb_per_sec).fold(0.0f64, f64::max);
+        assert!((best - 421.1).abs() < 3.0, "best {best}");
+    }
+
+    #[test]
+    fn fig3_mn4_reaches_its_openmp_ceiling() {
+        let sweep = hybrid_sweep(&marenostrum4(), Language::Fortran);
+        let best = sweep.iter().map(|p| p.gb_per_sec).fold(0.0f64, f64::max);
+        assert!((best - 201.2).abs() < 5.0, "best {best}");
+    }
+
+    #[test]
+    fn fig3_bandwidth_grows_with_ranks() {
+        for lang in [Language::C, Language::Fortran] {
+            let sweep = hybrid_sweep(&cte_arm(), lang);
+            for w in sweep.windows(2) {
+                assert!(w[1].gb_per_sec > w[0].gb_per_sec);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_objects_are_well_formed() {
+        let f2 = figure2(&cte_arm(), &marenostrum4());
+        assert_eq!(f2.series.len(), 4);
+        assert_eq!(f2.series[0].points.len(), 48);
+        let f3 = figure3(&cte_arm(), &marenostrum4());
+        assert_eq!(f3.series.len(), 4);
+        let csv = f3.to_csv();
+        assert!(csv.starts_with("x,"));
+    }
+
+    #[test]
+    fn host_triad_runs() {
+        let (seq, par) = host_triad(500_000);
+        assert!(seq > 0.0 && par > 0.0);
+    }
+}

@@ -1,0 +1,805 @@
+//! The [`Job`] execution context: runs SPMD programs on virtual clocks.
+
+use crate::collectives::{self, CollectiveAlgo};
+use crate::layout::JobLayout;
+use crate::trace::{Activity, Trace};
+use arch::compiler::Compiler;
+use arch::cost::{CostModel, KernelProfile};
+use arch::machines::Machine;
+use interconnect::network::Network;
+use interconnect::topology::{NodeId, Topology};
+use simkit::rng::Pcg32;
+use simkit::time::VirtualClock;
+use simkit::units::{Bandwidth, Bytes, Time};
+
+/// A posted, not-yet-completed neighbour exchange (see
+/// [`Job::post_neighbor_exchange`]).
+#[must_use = "a posted exchange must be completed with wait_halo"]
+pub struct PendingHalo {
+    completion: Vec<Time>,
+}
+
+/// A running MPI job on a simulated cluster.
+///
+/// Each rank owns a [`VirtualClock`]. Compute steps advance individual
+/// clocks (with optional load-imbalance noise); synchronizing communication
+/// aligns clocks the way blocking MPI semantics do. The job's elapsed time
+/// is the latest clock — the "slowest process" time the paper plots.
+pub struct Job<'a, T: Topology> {
+    machine: &'a Machine,
+    compiler: &'a Compiler,
+    network: &'a Network<T>,
+    layout: JobLayout,
+    clocks: Vec<VirtualClock>,
+    rng: Pcg32,
+    algo: CollectiveAlgo,
+    imbalance_sigma: f64,
+    /// Cached farthest pair of allocated nodes: the conservative
+    /// representative route for collective stages.
+    far_pair: (NodeId, NodeId),
+    trace: Option<Trace>,
+}
+
+impl<'a, T: Topology> Job<'a, T> {
+    /// Launch a job.
+    pub fn new(
+        machine: &'a Machine,
+        compiler: &'a Compiler,
+        network: &'a Network<T>,
+        layout: JobLayout,
+        seed: u64,
+    ) -> Self {
+        let n = layout.n_ranks();
+        let far_pair = Self::farthest_pair(network, &layout);
+        Self {
+            machine,
+            compiler,
+            network,
+            layout,
+            clocks: vec![VirtualClock::new(); n],
+            rng: Pcg32::seeded(seed),
+            algo: CollectiveAlgo::Auto,
+            imbalance_sigma: 0.03,
+            far_pair,
+            trace: None,
+        }
+    }
+
+    fn farthest_pair(network: &Network<T>, layout: &JobLayout) -> (NodeId, NodeId) {
+        let nodes = &layout.nodes;
+        if nodes.len() < 2 {
+            return (nodes[0], nodes[0]);
+        }
+        let topo = network.topology();
+        let first = nodes[0];
+        // Double sweep from the first node: near-diameter pair in O(n).
+        let a = *nodes
+            .iter()
+            .max_by_key(|&&n| topo.hops(first, n))
+            .expect("non-empty");
+        let b = *nodes
+            .iter()
+            .max_by_key(|&&n| topo.hops(a, n))
+            .expect("non-empty");
+        (a, b)
+    }
+
+    /// Select the inter-node collective algorithm (default: size-based).
+    pub fn with_collective_algo(mut self, algo: CollectiveAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Enable per-rank execution tracing (see [`crate::trace`]).
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Set the per-compute-step load-imbalance sigma (default 0.03;
+    /// 0 = perfectly balanced).
+    pub fn with_imbalance(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "imbalance sigma must be non-negative");
+        self.imbalance_sigma = sigma;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.layout.n_ranks()
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &JobLayout {
+        &self.layout
+    }
+
+    /// The job's elapsed time so far: the latest rank clock.
+    pub fn elapsed(&self) -> Time {
+        self.clocks
+            .iter()
+            .map(|c| c.now())
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// Per-rank clock snapshot.
+    pub fn rank_times(&self) -> Vec<Time> {
+        self.clocks.iter().map(|c| c.now()).collect()
+    }
+
+    /// Every rank executes the same per-rank work chunk; each rank's time is
+    /// perturbed by the imbalance noise.
+    pub fn compute(&mut self, per_rank: &KernelProfile) {
+        let n = self.n_ranks();
+        self.compute_chunks(|_| per_rank.clone());
+        debug_assert_eq!(n, self.n_ranks());
+    }
+
+    /// Per-rank work chunks from a closure (heterogeneous decomposition).
+    pub fn compute_chunks(&mut self, per_rank: impl Fn(usize) -> KernelProfile) {
+        let machine = self.machine;
+        let compiler = self.compiler;
+        let cm = CostModel::new(&machine.core, &machine.memory, compiler);
+        let active = self.layout.active_cores_per_node();
+        let threads = self.layout.threads_per_rank;
+        for rank in 0..self.n_ranks() {
+            let profile = per_rank(rank);
+            // A rank's chunk is split across its OpenMP threads.
+            let per_thread = KernelProfile {
+                flops: profile.flops / threads as f64,
+                bytes: profile.bytes / threads as f64,
+                ..profile
+            };
+            let mut t = cm.chunk_time(&per_thread, active);
+            if self.imbalance_sigma > 0.0 {
+                t = Time::seconds(t.value() * self.rng.lognormal_noise(self.imbalance_sigma));
+            }
+            let start = self.clocks[rank].now();
+            self.clocks[rank].advance(t);
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(rank, Activity::Compute, start, start + t, &per_thread.name);
+            }
+        }
+    }
+
+    /// Representative point-to-point time across the allocation (worst pair).
+    fn inter_node_ptp(&self, bytes: Bytes) -> Time {
+        self.network.message_time(self.far_pair.0, self.far_pair.1, bytes)
+    }
+
+    /// Intra-node (shared-memory) point-to-point time.
+    fn intra_node_ptp(&self, bytes: Bytes) -> Time {
+        // Shared-memory copy: half the injection overhead + copy at 20 GB/s,
+        // mirroring Network's self-message model.
+        self.network.link().sw_overhead * 0.5 + bytes / Bandwidth::gb_per_sec(20.0)
+    }
+
+    /// Align all clocks to the latest (the synchronization part of every
+    /// blocking collective), returning that time.
+    fn sync_clocks(&mut self) -> Time {
+        let latest = self.elapsed();
+        for c in &mut self.clocks {
+            c.advance_to(latest);
+        }
+        latest
+    }
+
+    /// Advance every clock by `dt`.
+    fn advance_all(&mut self, dt: Time) {
+        for c in &mut self.clocks {
+            c.advance(dt);
+        }
+    }
+
+    /// Record a blocking collective on every rank: the interval spans from
+    /// each rank's pre-sync clock to the common completion time.
+    fn record_collective(&mut self, starts: &[Time], label: &str) {
+        if self.trace.is_none() {
+            return;
+        }
+        let ends: Vec<Time> = self.clocks.iter().map(|c| c.now()).collect();
+        let trace = self.trace.as_mut().expect("checked above");
+        for (rank, (&s, &e)) in starts.iter().zip(&ends).enumerate() {
+            trace.record(rank, Activity::Collective, s, e, label);
+        }
+    }
+
+    /// Snapshot the per-rank clocks (collective start times).
+    fn clock_snapshot(&self) -> Vec<Time> {
+        self.clocks.iter().map(|c| c.now()).collect()
+    }
+
+    /// Hierarchical collective cost: intra-node stage over the ranks of one
+    /// node, inter-node stage over node leaders.
+    fn hierarchical_cost(
+        &self,
+        bytes: Bytes,
+        intra_f: impl Fn(usize, Bytes, &dyn Fn(Bytes) -> Time) -> Time,
+        inter_f: impl Fn(usize, Bytes, &dyn Fn(Bytes) -> Time) -> Time,
+    ) -> Time {
+        let rpn = self.layout.ranks_per_node;
+        let nodes = self.layout.n_nodes();
+        let intra_ptp = |b: Bytes| self.intra_node_ptp(b);
+        let inter_ptp = |b: Bytes| self.inter_node_ptp(b);
+        intra_f(rpn, bytes, &intra_ptp) + inter_f(nodes, bytes, &inter_ptp)
+    }
+
+    /// MPI_Barrier over all ranks.
+    pub fn barrier(&mut self) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let rpn = self.layout.ranks_per_node;
+        let nodes = self.layout.n_nodes();
+        let cost = collectives::barrier(rpn, self.intra_node_ptp(Bytes::ZERO))
+            + collectives::barrier(nodes, self.inter_node_ptp(Bytes::ZERO));
+        self.advance_all(cost);
+        self.record_collective(&starts, "barrier");
+    }
+
+    /// MPI_Allreduce of `bytes` per rank.
+    pub fn allreduce(&mut self, bytes: Bytes) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let algo = self.algo;
+        let cost = self.hierarchical_cost(
+            bytes,
+            |p, b, ptp| collectives::allreduce(p, b, algo, ptp),
+            |p, b, ptp| collectives::allreduce(p, b, algo, ptp),
+        );
+        self.advance_all(cost);
+        self.record_collective(&starts, "allreduce");
+    }
+
+    /// MPI_Bcast of `bytes` from rank 0.
+    pub fn bcast(&mut self, bytes: Bytes) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let algo = self.algo;
+        let cost = self.hierarchical_cost(
+            bytes,
+            |p, b, ptp| collectives::bcast(p, b, algo, ptp),
+            |p, b, ptp| collectives::bcast(p, b, algo, ptp),
+        );
+        self.advance_all(cost);
+        self.record_collective(&starts, "bcast");
+    }
+
+    /// MPI_Reduce of `bytes` to rank 0.
+    pub fn reduce(&mut self, bytes: Bytes) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let algo = self.algo;
+        let cost = self.hierarchical_cost(
+            bytes,
+            |p, b, ptp| collectives::reduce(p, b, algo, ptp),
+            |p, b, ptp| collectives::reduce(p, b, algo, ptp),
+        );
+        self.advance_all(cost);
+        self.record_collective(&starts, "reduce");
+    }
+
+    /// MPI_Allgather where each rank contributes `bytes`.
+    pub fn allgather(&mut self, bytes: Bytes) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let algo = self.algo;
+        let rpn = self.layout.ranks_per_node;
+        let cost = self.hierarchical_cost(
+            bytes,
+            |p, b, ptp| collectives::allgather(p, b, algo, ptp),
+            // Node leaders carry their node's aggregated contribution.
+            |p, b, ptp| collectives::allgather(p, b * rpn as f64, algo, ptp),
+        );
+        self.advance_all(cost);
+        self.record_collective(&starts, "allgather");
+    }
+
+    /// MPI_Alltoall where each rank sends `bytes` to every other rank.
+    pub fn alltoall(&mut self, bytes: Bytes) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let rpn = self.layout.ranks_per_node;
+        let cost = self.hierarchical_cost(
+            bytes,
+            |p, b, ptp| collectives::alltoall(p, b, ptp),
+            // Inter-node traffic: each node exchanges rpn² rank-pair
+            // payloads with every other node.
+            |p, b, ptp| collectives::alltoall(p, b * (rpn * rpn) as f64, ptp),
+        );
+        self.advance_all(cost);
+        self.record_collective(&starts, "alltoall");
+    }
+
+    /// Allreduce over a sub-communicator (e.g. HPL's grid rows/columns):
+    /// only the listed ranks synchronize and pay the cost; everyone else
+    /// keeps running.
+    ///
+    /// # Panics
+    /// Panics on duplicate or out-of-range ranks.
+    pub fn allreduce_among(&mut self, ranks: &[usize], bytes: Bytes) {
+        if ranks.len() <= 1 {
+            return;
+        }
+        let mut seen = vec![false; self.n_ranks()];
+        for &r in ranks {
+            assert!(r < self.n_ranks(), "rank out of range");
+            assert!(!seen[r], "duplicate rank in sub-communicator");
+            seen[r] = true;
+        }
+        let starts = self.clock_snapshot();
+        // Synchronize the subset.
+        let latest = ranks
+            .iter()
+            .map(|&r| self.clocks[r].now())
+            .fold(Time::ZERO, Time::max);
+        for &r in ranks {
+            self.clocks[r].advance_to(latest);
+        }
+        // Cost: how many distinct nodes does the subset span?
+        let mut nodes: Vec<_> = ranks.iter().map(|&r| self.layout.node_of(r)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let per_node = ranks.len().div_ceil(nodes.len());
+        let algo = self.algo;
+        let cost = collectives::allreduce(per_node, bytes, algo, |b| self.intra_node_ptp(b))
+            + collectives::allreduce(nodes.len(), bytes, algo, |b| self.inter_node_ptp(b));
+        for &r in ranks {
+            self.clocks[r].advance(cost);
+        }
+        let ends: Vec<Time> = ranks.iter().map(|&r| self.clocks[r].now()).collect();
+        if let Some(trace) = self.trace.as_mut() {
+            for (&r, &e) in ranks.iter().zip(&ends) {
+                trace.record(r, Activity::Collective, starts[r], e, "allreduce(sub)");
+            }
+        }
+    }
+
+    /// MPI_Gather of `bytes` per rank to rank 0.
+    pub fn gather(&mut self, bytes: Bytes) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let rpn = self.layout.ranks_per_node;
+        let cost = self.hierarchical_cost(
+            bytes,
+            |p, b, ptp| collectives::gather(p, b, ptp),
+            // Node leaders forward their node's aggregate.
+            |p, b, ptp| collectives::gather(p, b * rpn as f64, ptp),
+        );
+        self.advance_all(cost);
+        self.record_collective(&starts, "gather");
+    }
+
+    /// MPI_Reduce_scatter of `bytes` per rank.
+    pub fn reduce_scatter(&mut self, bytes: Bytes) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let cost = self.hierarchical_cost(
+            bytes,
+            |p, b, ptp| collectives::reduce_scatter(p, b, ptp),
+            |p, b, ptp| collectives::reduce_scatter(p, b, ptp),
+        );
+        self.advance_all(cost);
+        self.record_collective(&starts, "reduce_scatter");
+    }
+
+    /// MPI_Scan (inclusive prefix) of `bytes` per rank.
+    pub fn scan(&mut self, bytes: Bytes) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        let cost = self.hierarchical_cost(
+            bytes,
+            |p, b, ptp| collectives::scan(p, b, ptp),
+            |p, b, ptp| collectives::scan(p, b, ptp),
+        );
+        self.advance_all(cost);
+        self.record_collective(&starts, "scan");
+    }
+
+    /// Paired MPI_Sendrecv between two ranks: both clocks meet, then pay the
+    /// transfer.
+    pub fn sendrecv(&mut self, a: usize, b: usize, bytes: Bytes) {
+        assert!(a < self.n_ranks() && b < self.n_ranks(), "rank out of range");
+        let start = self.clocks[a].now().max(self.clocks[b].now());
+        let t = if self.layout.same_node(a, b) {
+            self.intra_node_ptp(bytes)
+        } else {
+            self.network
+                .message_time(self.layout.node_of(a), self.layout.node_of(b), bytes)
+        };
+        let end = start + t;
+        let (sa, sb) = (self.clocks[a].now(), self.clocks[b].now());
+        self.clocks[a].advance_to(end);
+        self.clocks[b].advance_to(end);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(a, Activity::PointToPoint, sa, end, "sendrecv");
+            trace.record(b, Activity::PointToPoint, sb, end, "sendrecv");
+        }
+    }
+
+    /// Post a non-blocking neighbour exchange (`MPI_Isend`/`MPI_Irecv`):
+    /// each rank pays only the injection overheads now; the wire time
+    /// proceeds in the background and [`Job::wait_halo`] synchronizes with
+    /// it. Compute issued between post and wait overlaps with the
+    /// transfers — the classic halo-hiding pattern.
+    pub fn post_neighbor_exchange(
+        &mut self,
+        neighbors: impl Fn(usize) -> Vec<(usize, Bytes)>,
+    ) -> PendingHalo {
+        let sw = self.network.link().sw_overhead;
+        let mut completion = Vec::with_capacity(self.n_ranks());
+        for rank in 0..self.n_ranks() {
+            let msgs = neighbors(rank);
+            if msgs.is_empty() {
+                completion.push(self.clocks[rank].now());
+                continue;
+            }
+            // Injection overheads occupy the CPU.
+            let inject = sw * msgs.len() as f64;
+            let start = self.clocks[rank].now();
+            self.clocks[rank].advance(inject);
+            // Wire time proceeds asynchronously from the post time.
+            let mut slowest = Time::ZERO;
+            for &(peer, bytes) in &msgs {
+                assert!(peer < self.n_ranks(), "peer rank out of range");
+                let t = if self.layout.same_node(rank, peer) {
+                    self.intra_node_ptp(bytes)
+                } else {
+                    self.network.message_time(
+                        self.layout.node_of(rank),
+                        self.layout.node_of(peer),
+                        bytes,
+                    )
+                };
+                slowest = slowest.max(t);
+            }
+            completion.push(start + inject + slowest);
+        }
+        PendingHalo { completion }
+    }
+
+    /// Complete a posted exchange: each rank's clock jumps to the later of
+    /// its current time (compute finished after the wire) and the
+    /// transfer completion (the wire was the bottleneck).
+    pub fn wait_halo(&mut self, pending: PendingHalo) {
+        assert_eq!(
+            pending.completion.len(),
+            self.n_ranks(),
+            "pending halo from a different job"
+        );
+        for (rank, &done) in pending.completion.iter().enumerate() {
+            let start = self.clocks[rank].now();
+            self.clocks[rank].advance_to(done);
+            if let Some(trace) = self.trace.as_mut() {
+                let end = start.max(done);
+                if end > start {
+                    trace.record(rank, Activity::PointToPoint, start, end, "halo-wait");
+                }
+            }
+        }
+    }
+
+    /// Blocking neighbour (halo) exchange: post and immediately wait.
+    /// Defined as the composition of [`Job::post_neighbor_exchange`] and
+    /// [`Job::wait_halo`], so blocking and overlapped paths share one cost
+    /// model by construction.
+    pub fn neighbor_exchange(&mut self, neighbors: impl Fn(usize) -> Vec<(usize, Bytes)>) {
+        let pending = self.post_neighbor_exchange(neighbors);
+        self.wait_halo(pending);
+    }
+
+    /// Collective file output of `total_bytes` through a shared parallel
+    /// filesystem of the given sustained bandwidth (used for WRF's hourly
+    /// frames). All ranks block until the write drains.
+    pub fn parallel_write(&mut self, total_bytes: Bytes, fs_bandwidth: Bandwidth) {
+        let starts = self.clock_snapshot();
+        self.sync_clocks();
+        self.advance_all(total_bytes / fs_bandwidth);
+        let ends: Vec<Time> = self.clocks.iter().map(|c| c.now()).collect();
+        if let Some(trace) = self.trace.as_mut() {
+            for (rank, (&s, &e)) in starts.iter().zip(&ends).enumerate() {
+                trace.record(rank, Activity::Io, s, e, "parallel_write");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::machines::{cte_arm, marenostrum4};
+    use interconnect::fattree::FatTree;
+    use interconnect::link::LinkModel;
+    use interconnect::tofu::TofuD;
+
+    fn cte_job(n_nodes: usize, rpn: usize, tpr: usize) -> (Machine, Compiler, Network<TofuD>) {
+        let m = cte_arm();
+        let c = Compiler::gnu_sve();
+        let net = Network::new(TofuD::cte_arm(), LinkModel::tofud());
+        let _ = (n_nodes, rpn, tpr);
+        (m, c, net)
+    }
+
+    fn layout(machine: &Machine, n_nodes: usize, rpn: usize, tpr: usize) -> JobLayout {
+        JobLayout::new(
+            (0..n_nodes).map(NodeId).collect(),
+            rpn,
+            tpr,
+            machine.memory.n_domains,
+            machine.cores_per_node(),
+        )
+    }
+
+    #[test]
+    fn fresh_job_has_zero_elapsed() {
+        let (m, c, net) = cte_job(4, 48, 1);
+        let job = Job::new(&m, &c, &net, layout(&m, 4, 48, 1), 1);
+        assert_eq!(job.elapsed(), Time::ZERO);
+        assert_eq!(job.n_ranks(), 192);
+    }
+
+    #[test]
+    fn compute_advances_clocks() {
+        let (m, c, net) = cte_job(2, 48, 1);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 48, 1), 1);
+        job.compute(&KernelProfile::dp("work", 1e9, 1e8));
+        assert!(job.elapsed().value() > 0.0);
+        // All ranks advanced.
+        assert!(job.rank_times().iter().all(|t| t.value() > 0.0));
+    }
+
+    #[test]
+    fn imbalance_spreads_rank_times() {
+        let (m, c, net) = cte_job(2, 48, 1);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 48, 1), 1).with_imbalance(0.1);
+        job.compute(&KernelProfile::dp("work", 1e9, 1e8));
+        let times = job.rank_times();
+        let min = times.iter().map(|t| t.value()).fold(f64::INFINITY, f64::min);
+        let max = times.iter().map(|t| t.value()).fold(0.0, f64::max);
+        assert!(max > min * 1.02, "imbalance should spread clocks");
+        // Zero imbalance: identical clocks.
+        let mut balanced = Job::new(&m, &c, &net, layout(&m, 2, 48, 1), 1).with_imbalance(0.0);
+        balanced.compute(&KernelProfile::dp("work", 1e9, 1e8));
+        let bt = balanced.rank_times();
+        assert!(bt.iter().all(|t| (t.value() - bt[0].value()).abs() < 1e-15));
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let (m, c, net) = cte_job(2, 48, 1);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 48, 1), 1).with_imbalance(0.2);
+        job.compute(&KernelProfile::dp("work", 1e9, 1e8));
+        job.barrier();
+        let times = job.rank_times();
+        assert!(
+            times
+                .iter()
+                .all(|t| (t.value() - times[0].value()).abs() < 1e-15),
+            "clocks aligned after barrier"
+        );
+    }
+
+    #[test]
+    fn allreduce_costs_more_on_more_nodes() {
+        let (m, c, net) = cte_job(2, 48, 1);
+        let mut small = Job::new(&m, &c, &net, layout(&m, 2, 48, 1), 1).with_imbalance(0.0);
+        let mut large = Job::new(&m, &c, &net, layout(&m, 64, 48, 1), 1).with_imbalance(0.0);
+        small.allreduce(Bytes::kib(8.0));
+        large.allreduce(Bytes::kib(8.0));
+        assert!(large.elapsed() > small.elapsed());
+    }
+
+    #[test]
+    fn sendrecv_couples_two_ranks_only() {
+        let (m, c, net) = cte_job(2, 4, 12);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 4, 12), 1).with_imbalance(0.0);
+        job.sendrecv(0, 7, Bytes::kib(64.0));
+        let times = job.rank_times();
+        assert!(times[0].value() > 0.0);
+        assert_eq!(times[0], times[7]);
+        assert_eq!(times[3], Time::ZERO);
+    }
+
+    #[test]
+    fn intra_node_messages_are_cheaper() {
+        let (m, c, net) = cte_job(2, 4, 12);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 4, 12), 1).with_imbalance(0.0);
+        job.sendrecv(0, 1, Bytes::kib(64.0)); // same node
+        let intra = job.rank_times()[0];
+        let mut job2 = Job::new(&m, &c, &net, layout(&m, 2, 4, 12), 1).with_imbalance(0.0);
+        job2.sendrecv(0, 4, Bytes::kib(64.0)); // across nodes
+        let inter = job2.rank_times()[0];
+        assert!(intra < inter);
+    }
+
+    #[test]
+    fn neighbor_exchange_overlaps_messages() {
+        let (m, c, net) = cte_job(4, 1, 48);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 4, 1, 48), 1).with_imbalance(0.0);
+        // Ring halo: each rank talks to both neighbours.
+        let n = job.n_ranks();
+        job.neighbor_exchange(|r| {
+            vec![
+                ((r + 1) % n, Bytes::kib(32.0)),
+                ((r + n - 1) % n, Bytes::kib(32.0)),
+            ]
+        });
+        let t_two = job.elapsed();
+        // A single message of the same size costs barely less (overlap).
+        let mut one = Job::new(&m, &c, &net, layout(&m, 4, 1, 48), 1).with_imbalance(0.0);
+        one.neighbor_exchange(|r| vec![((r + 1) % n, Bytes::kib(32.0))]);
+        let t_one = one.elapsed();
+        assert!(t_two.value() < t_one.value() * 2.0, "messages overlap");
+        assert!(t_two > t_one, "extra message still costs injection overhead");
+    }
+
+    #[test]
+    fn parallel_write_scales_with_volume() {
+        let (m, c, net) = cte_job(2, 48, 1);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 48, 1), 1);
+        job.parallel_write(Bytes::gb(10.0), Bandwidth::gb_per_sec(5.0));
+        assert!((job.elapsed().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_on_fattree_cluster_too() {
+        let m = marenostrum4();
+        let c = Compiler::intel();
+        let net = Network::new(FatTree::marenostrum4(), LinkModel::omnipath());
+        let l = JobLayout::new(
+            (0..16).map(NodeId).collect(),
+            48,
+            1,
+            m.memory.n_domains,
+            m.cores_per_node(),
+        );
+        let mut job = Job::new(&m, &c, &net, l, 1);
+        job.compute(&KernelProfile::dp("work", 1e10, 1e9));
+        job.allreduce(Bytes::kib(64.0));
+        assert!(job.elapsed().value() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (m, c, net) = cte_job(4, 48, 1);
+        let run = || {
+            let mut job = Job::new(&m, &c, &net, layout(&m, 4, 48, 1), 42);
+            job.compute(&KernelProfile::dp("w", 1e9, 1e8));
+            job.allreduce(Bytes::kib(8.0));
+            job.elapsed().value()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn overlap_hides_halo_behind_compute() {
+        let (m, c, net) = cte_job(4, 1, 48);
+        let layout4 = layout(&m, 4, 1, 48);
+        let work = KernelProfile::dp("w", 5e10, 1e8);
+        let halo = Bytes::mib(2.0);
+        let n = 4;
+        let peers = move |r: usize| vec![((r + 1) % n, halo), ((r + n - 1) % n, halo)];
+
+        // Sequential: compute, then blocking halo.
+        let mut seq = Job::new(&m, &c, &net, layout4.clone(), 1).with_imbalance(0.0);
+        seq.compute(&work);
+        seq.neighbor_exchange(peers);
+        let t_seq = seq.elapsed();
+
+        // Overlapped: post, compute, wait.
+        let mut ovl = Job::new(&m, &c, &net, layout(&m, 4, 1, 48), 1).with_imbalance(0.0);
+        let pending = ovl.post_neighbor_exchange(peers);
+        ovl.compute(&work);
+        ovl.wait_halo(pending);
+        let t_ovl = ovl.elapsed();
+
+        assert!(t_ovl < t_seq, "overlap must win: {t_ovl} vs {t_seq}");
+        // And it can never beat the compute time alone.
+        let mut comp = Job::new(&m, &c, &net, layout(&m, 4, 1, 48), 1).with_imbalance(0.0);
+        comp.compute(&work);
+        assert!(t_ovl >= comp.elapsed());
+    }
+
+    #[test]
+    fn wait_without_compute_costs_the_full_transfer() {
+        let (m, c, net) = cte_job(2, 1, 48);
+        let halo = Bytes::mib(4.0);
+        let mut a = Job::new(&m, &c, &net, layout(&m, 2, 1, 48), 1).with_imbalance(0.0);
+        let pending = a.post_neighbor_exchange(|r| vec![(1 - r, halo)]);
+        a.wait_halo(pending);
+        let mut b = Job::new(&m, &c, &net, layout(&m, 2, 1, 48), 1).with_imbalance(0.0);
+        b.neighbor_exchange(|r| vec![(1 - r, halo)]);
+        // Identical when nothing overlaps (same injection + wire costs).
+        assert!((a.elapsed().value() - b.elapsed().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_records_compute_and_collectives() {
+        use crate::trace::Activity;
+        let (m, c, net) = cte_job(2, 4, 12);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 4, 12), 1)
+            .with_tracing()
+            .with_imbalance(0.05);
+        job.compute(&KernelProfile::dp("kernel-x", 1e9, 1e7));
+        job.allreduce(Bytes::kib(8.0));
+        job.parallel_write(Bytes::mib(10.0), Bandwidth::gb_per_sec(10.0));
+        let trace = job.trace().expect("tracing enabled");
+        // 8 ranks × (1 compute + 1 collective + 1 io).
+        assert_eq!(trace.events.len(), 24);
+        assert!(trace.fraction(Activity::Compute) > 0.0);
+        assert!(trace.fraction(Activity::Collective) > 0.0);
+        assert!(trace.fraction(Activity::Io) > 0.0);
+        let gantt = trace.gantt(4, 40);
+        assert!(gantt.contains("r0"));
+        // With imbalance, the fastest rank's collective interval includes
+        // its wait for the slowest — collective time varies per rank.
+        let coll: Vec<f64> = trace
+            .events
+            .iter()
+            .filter(|e| e.activity == Activity::Collective)
+            .map(|e| e.duration().value())
+            .collect();
+        let min = coll.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = coll.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "waits differ across ranks");
+    }
+
+    #[test]
+    fn untraced_job_has_no_trace() {
+        let (m, c, net) = cte_job(1, 4, 1);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 1, 4, 1), 1);
+        job.compute(&KernelProfile::dp("w", 1e6, 0.0));
+        assert!(job.trace().is_none());
+    }
+
+    #[test]
+    fn extra_collectives_advance_clocks() {
+        let (m, c, net) = cte_job(4, 48, 1);
+        for op in ["gather", "reduce_scatter", "scan"] {
+            let mut job =
+                Job::new(&m, &c, &net, layout(&m, 4, 48, 1), 1).with_imbalance(0.0);
+            match op {
+                "gather" => job.gather(Bytes::kib(4.0)),
+                "reduce_scatter" => job.reduce_scatter(Bytes::kib(4.0)),
+                _ => job.scan(Bytes::kib(4.0)),
+            }
+            assert!(job.elapsed().value() > 0.0, "{op} must cost time");
+        }
+    }
+
+    #[test]
+    fn subset_allreduce_leaves_others_untouched() {
+        let (m, c, net) = cte_job(4, 4, 12);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 4, 4, 12), 1).with_imbalance(0.0);
+        // Ranks 0, 4, 8, 12: one per node — a "grid column".
+        job.allreduce_among(&[0, 4, 8, 12], Bytes::kib(8.0));
+        let times = job.rank_times();
+        assert!(times[0].value() > 0.0);
+        assert_eq!(times[0], times[4]);
+        assert_eq!(times[1], Time::ZERO, "non-members untouched");
+        // The subset collective is cheaper than the full one.
+        let mut full = Job::new(&m, &c, &net, layout(&m, 4, 4, 12), 1).with_imbalance(0.0);
+        full.allreduce(Bytes::kib(8.0));
+        assert!(times[0] < full.elapsed());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rank")]
+    fn subset_allreduce_rejects_duplicates() {
+        let (m, c, net) = cte_job(2, 4, 12);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 4, 12), 1);
+        job.allreduce_among(&[0, 0], Bytes::kib(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn sendrecv_bounds_checked() {
+        let (m, c, net) = cte_job(1, 4, 1);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 1, 4, 1), 1);
+        job.sendrecv(0, 4, Bytes::ZERO);
+    }
+}

@@ -1,0 +1,43 @@
+//! # mpisim — a message-passing runtime simulator
+//!
+//! Executes SPMD *rank programs* against the [`arch`] node models and the
+//! [`interconnect`] network models, tracking one virtual clock per rank.
+//! The programming model is bulk-synchronous: a program is a sequence of
+//! compute steps (costed by [`arch::cost::CostModel`]) and communication
+//! steps (point-to-point or collectives, costed against the network), and
+//! the job's elapsed time is the latest rank clock — exactly the "slowest
+//! process" metric the paper reports for Alya's phases.
+//!
+//! * [`layout`] — how ranks map onto nodes, NUMA domains and cores.
+//! * [`collectives`] — cost formulas for Barrier/Bcast/Reduce/Allreduce/
+//!   Allgather/Alltoall with hierarchical (intra-node + inter-node) stages
+//!   and selectable inter-node algorithm (binomial tree vs ring).
+//! * [`job`] — the [`job::Job`] execution context tying it all together.
+
+//! ```
+//! use arch::{compiler::Compiler, cost::KernelProfile, machines::cte_arm};
+//! use interconnect::{link::LinkModel, network::Network, tofu::TofuD, topology::NodeId};
+//! use mpisim::{job::Job, layout::JobLayout};
+//! use simkit::units::Bytes;
+//!
+//! let machine = cte_arm();
+//! let compiler = Compiler::gnu_sve();
+//! let net = Network::new(TofuD::cte_arm(), LinkModel::tofud());
+//! let layout = JobLayout::new((0..4).map(NodeId).collect(), 48, 1, 4, 48);
+//! let mut job = Job::new(&machine, &compiler, &net, layout, 7);
+//! job.compute(&KernelProfile::dp("step", 1e9, 1e8));
+//! job.allreduce(Bytes::new(8.0));
+//! assert!(job.elapsed().value() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod job;
+pub mod layout;
+pub mod trace;
+
+pub use collectives::CollectiveAlgo;
+pub use job::Job;
+pub use layout::JobLayout;
+pub use trace::{Activity, Trace};

@@ -1,0 +1,248 @@
+//! Node allocation over the torus.
+
+use interconnect::placement::mean_pairwise_hops;
+use interconnect::topology::{NodeId, Topology};
+use simkit::rng::Pcg32;
+
+/// How free nodes are chosen for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// Smallest contiguous run of free node ids that fits (node ids are
+    /// torus-curve ordered, so contiguity ≈ compactness) — the
+    /// topology-aware behaviour of the Fujitsu scheduler.
+    BestFitContiguous,
+    /// First free nodes in id order, skipping holes (ignores topology).
+    FirstFit,
+    /// Uniformly random free nodes (fragmented worst case).
+    Random,
+}
+
+/// Tracks node occupancy and hands out allocations.
+pub struct Allocator<T: Topology> {
+    topo: T,
+    free: Vec<bool>,
+    policy: AllocationPolicy,
+    rng: Pcg32,
+}
+
+impl<T: Topology> Allocator<T> {
+    /// An empty cluster under a policy.
+    pub fn new(topo: T, policy: AllocationPolicy, seed: u64) -> Self {
+        let n = topo.nodes();
+        Self {
+            topo,
+            free: vec![true; n],
+            policy,
+            rng: Pcg32::seeded(seed),
+        }
+    }
+
+    /// Nodes currently free.
+    pub fn free_count(&self) -> usize {
+        self.free.iter().filter(|&&f| f).count()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// The paper's usability restriction: users cannot pin specific nodes.
+    /// Always refused, mirroring CTE-Arm's production configuration.
+    pub fn allocate_specific(&mut self, _nodes: &[NodeId]) -> Result<Vec<NodeId>, &'static str> {
+        Err("the scheduler does not allow allocating specific nodes")
+    }
+
+    /// Try to allocate `count` nodes; `None` if not enough are free.
+    pub fn allocate(&mut self, count: usize) -> Option<Vec<NodeId>> {
+        assert!(count >= 1, "zero-node allocation");
+        if self.free_count() < count {
+            return None;
+        }
+        let picked = match self.policy {
+            AllocationPolicy::BestFitContiguous => self.best_fit(count),
+            AllocationPolicy::FirstFit => self.first_fit(count),
+            AllocationPolicy::Random => self.random_fit(count),
+        };
+        for n in &picked {
+            debug_assert!(self.free[n.index()], "double allocation");
+            self.free[n.index()] = false;
+        }
+        Some(picked)
+    }
+
+    /// Return an allocation's nodes to the free pool.
+    pub fn release(&mut self, nodes: &[NodeId]) {
+        for n in nodes {
+            assert!(!self.free[n.index()], "releasing a free node");
+            self.free[n.index()] = true;
+        }
+    }
+
+    fn first_fit(&self, count: usize) -> Vec<NodeId> {
+        self.free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .take(count)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Smallest free *run* of consecutive ids that fits; falls back to
+    /// first-fit when no single run is large enough.
+    fn best_fit(&self, count: usize) -> Vec<NodeId> {
+        let n = self.free.len();
+        let mut best: Option<(usize, usize)> = None; // (start, len)
+        let mut i = 0;
+        while i < n {
+            if self.free[i] {
+                let start = i;
+                while i < n && self.free[i] {
+                    i += 1;
+                }
+                let len = i - start;
+                if len >= count {
+                    let better = match best {
+                        None => true,
+                        Some((_, blen)) => len < blen,
+                    };
+                    if better {
+                        best = Some((start, len));
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        match best {
+            Some((start, _)) => (start..start + count).map(NodeId).collect(),
+            None => self.first_fit(count),
+        }
+    }
+
+    fn random_fit(&mut self, count: usize) -> Vec<NodeId> {
+        let mut free: Vec<usize> = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect();
+        self.rng.shuffle(&mut free);
+        let mut picked: Vec<usize> = free.into_iter().take(count).collect();
+        picked.sort_unstable();
+        picked.into_iter().map(NodeId).collect()
+    }
+
+    /// Compactness of an allocation: mean pairwise hop distance.
+    pub fn compactness(&self, nodes: &[NodeId]) -> f64 {
+        mean_pairwise_hops(&self.topo, nodes)
+    }
+
+    /// Fragmentation of the free pool: 1 − (largest free run / free count).
+    /// 0 when all free nodes are one run; → 1 when fully scattered.
+    pub fn fragmentation(&self) -> f64 {
+        let free_total = self.free_count();
+        if free_total == 0 {
+            return 0.0;
+        }
+        let mut largest = 0usize;
+        let mut run = 0usize;
+        for &f in &self.free {
+            if f {
+                run += 1;
+                largest = largest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        1.0 - largest as f64 / free_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interconnect::tofu::TofuD;
+
+    fn alloc(policy: AllocationPolicy) -> Allocator<TofuD> {
+        Allocator::new(TofuD::cte_arm(), policy, 42)
+    }
+
+    #[test]
+    fn empty_cluster_is_all_free() {
+        let a = alloc(AllocationPolicy::BestFitContiguous);
+        assert_eq!(a.free_count(), 192);
+        assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut a = alloc(AllocationPolicy::FirstFit);
+        let nodes = a.allocate(48).expect("fits");
+        assert_eq!(nodes.len(), 48);
+        assert_eq!(a.free_count(), 144);
+        a.release(&nodes);
+        assert_eq!(a.free_count(), 192);
+    }
+
+    #[test]
+    fn over_allocation_returns_none() {
+        let mut a = alloc(AllocationPolicy::FirstFit);
+        assert!(a.allocate(193).is_none());
+        let _ = a.allocate(100).unwrap();
+        assert!(a.allocate(93).is_none());
+        assert!(a.allocate(92).is_some());
+    }
+
+    #[test]
+    fn specific_node_requests_are_refused() {
+        // The paper's Section-VI complaint, as behaviour.
+        let mut a = alloc(AllocationPolicy::BestFitContiguous);
+        let err = a.allocate_specific(&[NodeId(0), NodeId(5)]).unwrap_err();
+        assert!(err.contains("does not allow"));
+    }
+
+    #[test]
+    fn best_fit_prefers_the_smallest_hole() {
+        let mut a = alloc(AllocationPolicy::BestFitContiguous);
+        // Carve the cluster into a 12-node hole and a large tail:
+        // allocate 0..50, free 20..32 (12-node hole).
+        let first: Vec<NodeId> = a.allocate(50).unwrap();
+        let hole: Vec<NodeId> = (20..32).map(NodeId).collect();
+        a.release(&hole);
+        let _ = first;
+        // A 12-node job should land exactly in the hole, not the tail.
+        let got = a.allocate(12).unwrap();
+        assert_eq!(got, hole, "best fit picks the snug hole");
+    }
+
+    #[test]
+    fn contiguous_beats_random_on_compactness() {
+        let mut c = alloc(AllocationPolicy::BestFitContiguous);
+        let mut r = alloc(AllocationPolicy::Random);
+        let nc = c.allocate(24).unwrap();
+        let nr = r.allocate(24).unwrap();
+        assert!(c.compactness(&nc) < r.compactness(&nr));
+    }
+
+    #[test]
+    fn fragmentation_rises_with_scattered_frees() {
+        let mut a = alloc(AllocationPolicy::FirstFit);
+        let all = a.allocate(192).unwrap();
+        // Free every third node: heavily fragmented pool.
+        let scattered: Vec<NodeId> = all.iter().copied().step_by(3).collect();
+        a.release(&scattered);
+        assert!(a.fragmentation() > 0.9, "frag {}", a.fragmentation());
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing a free node")]
+    fn double_release_detected() {
+        let mut a = alloc(AllocationPolicy::FirstFit);
+        let nodes = a.allocate(4).unwrap();
+        a.release(&nodes);
+        a.release(&nodes);
+    }
+}

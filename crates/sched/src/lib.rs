@@ -1,0 +1,34 @@
+//! # sched — the cluster job scheduler
+//!
+//! Section II of the paper: *"The job scheduler of the cluster is aware of
+//! the network topology and can allocate nodes for user jobs to exploit
+//! proximity and reduce the latency of messages."* And Section VI's
+//! complaint: *"the job scheduler does not allow allocating specific nodes
+//! or enforcing specific process binding."*
+//!
+//! This crate simulates that scheduler: a FCFS-with-backfill queue over
+//! the TofuD torus, with selectable allocation policies. It quantifies
+//! what topology-awareness buys (allocation compactness under load) and
+//! reproduces the usability restriction (explicit node requests are
+//! rejected, as on the real machine).
+
+//! ```
+//! use sched::{AllocationPolicy, Allocator, Scheduler, WorkloadSpec};
+//! use interconnect::tofu::TofuD;
+//!
+//! let allocator = Allocator::new(TofuD::cte_arm(), AllocationPolicy::BestFitContiguous, 1);
+//! let workload = WorkloadSpec::production_day(192).generate(1);
+//! let (jobs, stats) = Scheduler::new(allocator, true).run(workload);
+//! assert!(jobs.iter().all(|j| j.end.is_some()));
+//! assert!(stats.utilization > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod queue;
+pub mod workload;
+
+pub use allocator::{AllocationPolicy, Allocator};
+pub use queue::{JobRequest, JobState, Scheduler, SchedulerStats};
+pub use workload::WorkloadSpec;

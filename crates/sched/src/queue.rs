@@ -1,0 +1,292 @@
+//! The job queue: FCFS with EASY backfill over an [`crate::Allocator`].
+
+use crate::allocator::Allocator;
+use interconnect::topology::{NodeId, Topology};
+use simkit::event::EventQueue;
+use simkit::units::Time;
+
+/// A job submission.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Submitter-visible id.
+    pub id: usize,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Runtime once started.
+    pub duration: Time,
+    /// Submission time.
+    pub submit: Time,
+}
+
+/// Lifecycle of a job inside the scheduler.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    /// The request.
+    pub request: JobRequest,
+    /// Start time, once running.
+    pub start: Option<Time>,
+    /// End time, once finished.
+    pub end: Option<Time>,
+    /// The allocation, while running/after completion.
+    pub allocation: Vec<NodeId>,
+    /// Mean pairwise hops of the allocation (compactness at start).
+    pub compactness: f64,
+}
+
+impl JobState {
+    /// Queue wait time (end-to-start of queueing), once started.
+    pub fn wait(&self) -> Option<Time> {
+        self.start.map(|s| s - self.request.submit)
+    }
+}
+
+/// Aggregate statistics of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SchedulerStats {
+    /// Makespan: completion time of the last job.
+    pub makespan: Time,
+    /// Mean queue wait across jobs.
+    pub mean_wait: Time,
+    /// Mean allocation compactness (pairwise hops) across jobs.
+    pub mean_compactness: f64,
+    /// Node-time utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Scheduler events.
+enum Event {
+    Submit(usize),
+    Finish(usize),
+}
+
+/// A FCFS + EASY-backfill scheduler over an allocator.
+pub struct Scheduler<T: Topology> {
+    allocator: Allocator<T>,
+    jobs: Vec<JobState>,
+    backfill: bool,
+}
+
+impl<T: Topology> Scheduler<T> {
+    /// Wrap an allocator. `backfill` enables EASY backfill (jobs behind
+    /// the queue head may start if they fit right now).
+    pub fn new(allocator: Allocator<T>, backfill: bool) -> Self {
+        Self {
+            allocator,
+            jobs: Vec::new(),
+            backfill,
+        }
+    }
+
+    /// Run a workload to completion and return per-job states + stats.
+    ///
+    /// # Panics
+    /// Panics if any request exceeds the cluster or has a non-positive
+    /// duration.
+    pub fn run(mut self, mut requests: Vec<JobRequest>) -> (Vec<JobState>, SchedulerStats) {
+        let cluster = self.allocator.topology().nodes();
+        for r in &requests {
+            assert!(
+                r.nodes >= 1 && r.nodes <= cluster,
+                "job {} wants {} of {cluster} nodes",
+                r.id,
+                r.nodes
+            );
+            assert!(r.duration > Time::ZERO, "job {} has no duration", r.id);
+        }
+        requests.sort_by(|a, b| a.submit.partial_cmp(&b.submit).expect("finite times"));
+        self.jobs = requests
+            .iter()
+            .map(|r| JobState {
+                request: r.clone(),
+                start: None,
+                end: None,
+                allocation: Vec::new(),
+                compactness: 0.0,
+            })
+            .collect();
+
+        let mut queue: Vec<usize> = Vec::new(); // waiting, FCFS order
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for (idx, r) in requests.iter().enumerate() {
+            events.schedule_at(r.submit, Event::Submit(idx));
+        }
+
+        let mut busy_node_time = 0.0;
+        while let Some((now, ev)) = events.pop() {
+            match ev {
+                Event::Submit(idx) => queue.push(idx),
+                Event::Finish(idx) => {
+                    let alloc = std::mem::take(&mut self.jobs[idx].allocation);
+                    busy_node_time +=
+                        alloc.len() as f64 * self.jobs[idx].request.duration.value();
+                    self.allocator.release(&alloc);
+                    self.jobs[idx].allocation = alloc;
+                    self.jobs[idx].end = Some(now);
+                }
+            }
+            // Dispatch: FCFS head first; optionally backfill the rest.
+            let mut i = 0;
+            while i < queue.len() {
+                let idx = queue[i];
+                let want = self.jobs[idx].request.nodes;
+                if let Some(nodes) = self.allocator.allocate(want) {
+                    self.jobs[idx].compactness = self.allocator.compactness(&nodes);
+                    self.jobs[idx].start = Some(now);
+                    events.schedule_at(now + self.jobs[idx].request.duration, Event::Finish(idx));
+                    self.jobs[idx].allocation = nodes;
+                    queue.remove(i);
+                    // After starting the head, restart the scan.
+                    i = 0;
+                } else if self.backfill {
+                    i += 1; // try the next job in the queue
+                } else {
+                    break; // strict FCFS: blocked head blocks everyone
+                }
+            }
+        }
+
+        let makespan = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.end)
+            .fold(Time::ZERO, Time::max);
+        let n = self.jobs.len().max(1) as f64;
+        let mean_wait = Time::seconds(
+            self.jobs
+                .iter()
+                .filter_map(|j| j.wait())
+                .map(|w| w.value())
+                .sum::<f64>()
+                / n,
+        );
+        let mean_compactness =
+            self.jobs.iter().map(|j| j.compactness).sum::<f64>() / n;
+        let utilization = if makespan > Time::ZERO {
+            busy_node_time / (cluster as f64 * makespan.value())
+        } else {
+            0.0
+        };
+        (
+            self.jobs,
+            SchedulerStats {
+                makespan,
+                mean_wait,
+                mean_compactness,
+                utilization,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::AllocationPolicy;
+    use interconnect::tofu::TofuD;
+
+    fn scheduler(policy: AllocationPolicy, backfill: bool) -> Scheduler<TofuD> {
+        Scheduler::new(Allocator::new(TofuD::cte_arm(), policy, 7), backfill)
+    }
+
+    fn job(id: usize, nodes: usize, dur: f64, submit: f64) -> JobRequest {
+        JobRequest {
+            id,
+            nodes,
+            duration: Time::seconds(dur),
+            submit: Time::seconds(submit),
+        }
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let (jobs, stats) = scheduler(AllocationPolicy::BestFitContiguous, false)
+            .run(vec![job(0, 48, 100.0, 0.0)]);
+        assert_eq!(jobs[0].start, Some(Time::ZERO));
+        assert_eq!(jobs[0].end, Some(Time::seconds(100.0)));
+        assert_eq!(stats.makespan, Time::seconds(100.0));
+        assert!((stats.utilization - 0.25).abs() < 1e-9, "48/192 busy");
+    }
+
+    #[test]
+    fn fcfs_queues_when_full() {
+        let (jobs, _) = scheduler(AllocationPolicy::FirstFit, false).run(vec![
+            job(0, 192, 10.0, 0.0),
+            job(1, 10, 5.0, 1.0),
+        ]);
+        // Job 1 must wait for the full-machine job.
+        assert_eq!(jobs[1].start, Some(Time::seconds(10.0)));
+        assert_eq!(jobs[1].wait(), Some(Time::seconds(9.0)));
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_jump_safely() {
+        // Head job wants the full machine and must wait for job 0; with
+        // backfill, the tiny job 2 runs in the meantime.
+        let workload = vec![
+            job(0, 100, 10.0, 0.0),
+            job(1, 192, 10.0, 1.0),
+            job(2, 10, 2.0, 2.0),
+        ];
+        let (with_bf, _) = scheduler(AllocationPolicy::FirstFit, true).run(workload.clone());
+        assert_eq!(with_bf[2].start, Some(Time::seconds(2.0)), "backfilled");
+        let (without, _) = scheduler(AllocationPolicy::FirstFit, false).run(workload);
+        assert!(
+            without[2].start.unwrap() > Time::seconds(2.0),
+            "strict FCFS blocks it"
+        );
+    }
+
+    #[test]
+    fn backfill_improves_utilization() {
+        let workload: Vec<JobRequest> = (0..20)
+            .map(|i| {
+                let nodes = if i % 3 == 0 { 150 } else { 30 };
+                job(i, nodes, 10.0, i as f64 * 0.1)
+            })
+            .collect();
+        let (_, bf) = scheduler(AllocationPolicy::FirstFit, true).run(workload.clone());
+        let (_, fcfs) = scheduler(AllocationPolicy::FirstFit, false).run(workload);
+        assert!(
+            bf.utilization >= fcfs.utilization,
+            "backfill {} ≥ fcfs {}",
+            bf.utilization,
+            fcfs.utilization
+        );
+        assert!(bf.makespan <= fcfs.makespan);
+    }
+
+    #[test]
+    fn topology_aware_policy_gives_compacter_jobs_under_churn() {
+        // A churning workload fragments the free pool; the contiguous
+        // policy keeps allocations tighter than random placement.
+        let workload: Vec<JobRequest> = (0..40)
+            .map(|i| job(i, 12 + (i % 5) * 8, 5.0 + (i % 7) as f64, i as f64 * 1.3))
+            .collect();
+        let (_, aware) =
+            scheduler(AllocationPolicy::BestFitContiguous, true).run(workload.clone());
+        let (_, random) = scheduler(AllocationPolicy::Random, true).run(workload);
+        assert!(
+            aware.mean_compactness < random.mean_compactness,
+            "aware {} < random {}",
+            aware.mean_compactness,
+            random.mean_compactness
+        );
+    }
+
+    #[test]
+    fn all_jobs_finish_and_nodes_are_returned() {
+        let workload: Vec<JobRequest> = (0..30)
+            .map(|i| job(i, 20 + (i % 4) * 30, 3.0, (i / 3) as f64))
+            .collect();
+        let (jobs, stats) = scheduler(AllocationPolicy::BestFitContiguous, true).run(workload);
+        assert!(jobs.iter().all(|j| j.end.is_some()), "everything completes");
+        assert!(stats.utilization > 0.0 && stats.utilization <= 1.0);
+        assert!(stats.makespan > Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "wants")]
+    fn oversized_job_rejected() {
+        scheduler(AllocationPolicy::FirstFit, false).run(vec![job(0, 500, 1.0, 0.0)]);
+    }
+}

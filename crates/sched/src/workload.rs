@@ -1,0 +1,142 @@
+//! Synthetic workload generation for scheduler studies.
+//!
+//! Production HPC queues have a well-known shape: many small, short jobs,
+//! a heavy tail of hero runs, bursty submissions. The generator here is a
+//! small parameterized model of that mix, deterministic per seed, used by
+//! the scheduler example and benches.
+
+use crate::queue::JobRequest;
+use simkit::rng::Pcg32;
+use simkit::units::Time;
+
+/// Parameters of a synthetic submission stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Jobs to generate.
+    pub jobs: usize,
+    /// Cluster size (caps the hero jobs).
+    pub cluster_nodes: usize,
+    /// Span of the submission window in seconds.
+    pub window_s: f64,
+    /// Fraction of jobs that are machine-scale hero runs.
+    pub hero_fraction: f64,
+    /// Runtime range of ordinary jobs in seconds `(lo, hi)`.
+    pub duration_s: (f64, f64),
+}
+
+impl WorkloadSpec {
+    /// A production-like day on a 192-node machine.
+    pub fn production_day(cluster_nodes: usize) -> Self {
+        Self {
+            jobs: 150,
+            cluster_nodes,
+            window_s: 86_400.0,
+            hero_fraction: 0.08,
+            duration_s: (120.0, 14_400.0),
+        }
+    }
+
+    /// Generate the stream, sorted by submission time.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters.
+    pub fn generate(&self, seed: u64) -> Vec<JobRequest> {
+        assert!(self.jobs >= 1 && self.cluster_nodes >= 1, "degenerate spec");
+        assert!(
+            self.duration_s.0 > 0.0 && self.duration_s.1 >= self.duration_s.0,
+            "bad duration range"
+        );
+        assert!((0.0..=1.0).contains(&self.hero_fraction), "bad fraction");
+        let mut rng = Pcg32::seeded(seed);
+        let mut out: Vec<JobRequest> = (0..self.jobs)
+            .map(|id| {
+                let hero = rng.next_f64() < self.hero_fraction;
+                let nodes = if hero {
+                    // Hero runs: 50–100 % of the machine.
+                    let lo = self.cluster_nodes / 2;
+                    lo + rng.next_below((self.cluster_nodes - lo) as u32 + 1) as usize
+                } else {
+                    // Ordinary: log-uniform-ish between 1 and 25 % of it.
+                    let cap = (self.cluster_nodes / 4).max(1);
+                    1 + rng.next_below(cap as u32) as usize
+                };
+                JobRequest {
+                    id,
+                    nodes: nodes.max(1),
+                    duration: Time::seconds(rng.uniform(self.duration_s.0, self.duration_s.1)),
+                    submit: Time::seconds(rng.uniform(0.0, self.window_s)),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.submit.partial_cmp(&b.submit).expect("finite"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_sorted() {
+        let w = WorkloadSpec::production_day(192).generate(1);
+        assert_eq!(w.len(), 150);
+        for pair in w.windows(2) {
+            assert!(pair[0].submit <= pair[1].submit);
+        }
+    }
+
+    #[test]
+    fn all_jobs_fit_the_cluster() {
+        let w = WorkloadSpec::production_day(192).generate(2);
+        assert!(w.iter().all(|j| (1..=192).contains(&j.nodes)));
+        assert!(w.iter().all(|j| j.duration > Time::ZERO));
+    }
+
+    #[test]
+    fn hero_fraction_is_respected() {
+        let spec = WorkloadSpec {
+            jobs: 2000,
+            ..WorkloadSpec::production_day(192)
+        };
+        let w = spec.generate(3);
+        let heroes = w.iter().filter(|j| j.nodes >= 96).count() as f64 / 2000.0;
+        assert!((heroes - 0.08).abs() < 0.02, "hero share {heroes}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = WorkloadSpec::production_day(192);
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.submit, y.submit);
+        }
+        let c = spec.generate(8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.nodes != y.nodes));
+    }
+
+    #[test]
+    fn runs_through_the_scheduler() {
+        use crate::allocator::{AllocationPolicy, Allocator};
+        use crate::queue::Scheduler;
+        use interconnect::tofu::TofuD;
+        let w = WorkloadSpec::production_day(192).generate(4);
+        let alloc = Allocator::new(TofuD::cte_arm(), AllocationPolicy::BestFitContiguous, 1);
+        let (jobs, stats) = Scheduler::new(alloc, true).run(w);
+        assert!(jobs.iter().all(|j| j.end.is_some()));
+        assert!(stats.utilization > 0.2, "day keeps the machine busy");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn degenerate_durations_rejected() {
+        WorkloadSpec {
+            duration_s: (10.0, 1.0),
+            ..WorkloadSpec::production_day(192)
+        }
+        .generate(1);
+    }
+}

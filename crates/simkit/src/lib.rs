@@ -1,0 +1,33 @@
+//! # simkit — deterministic simulation substrate
+//!
+//! Foundation crate for the `a64fx-cluster-eval` workspace. Provides the
+//! machinery every other crate builds on:
+//!
+//! * [`units`] — strongly-typed physical quantities (time, bytes, flops,
+//!   bandwidth) so that cost models cannot accidentally mix units.
+//! * [`time`] — a virtual clock for simulated execution.
+//! * [`event`] — a deterministic discrete-event scheduler.
+//! * [`rng`] — a small, seedable, reproducible PCG32 generator (identical
+//!   streams on every platform, unlike hash-seeded generators).
+//! * [`stats`] — online statistics (Welford), histograms, percentiles.
+//! * [`series`] — labelled data series and text/CSV table rendering used to
+//!   regenerate the paper's figures and tables.
+//!
+//! Everything in this crate is pure and deterministic: simulating the same
+//! experiment twice yields bit-identical results.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::{EventQueue, Scheduler};
+pub use rng::Pcg32;
+pub use series::{Figure, Series, Table};
+pub use stats::{Histogram, OnlineStats};
+pub use time::VirtualClock;
+pub use units::{Bandwidth, Bytes, Flops, Time};

@@ -1,0 +1,111 @@
+//! Virtual clocks for simulated execution.
+
+use crate::units::Time;
+
+/// A monotonically advancing virtual clock.
+///
+/// Each simulated entity (a rank in `mpisim`, a node running a kernel) owns a
+/// clock; synchronisation points align clocks to the maximum across the
+/// participants, mirroring how barriers and blocking collectives behave on a
+/// real machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct VirtualClock {
+    now: Time,
+}
+
+impl VirtualClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advance the clock by a non-negative duration.
+    ///
+    /// # Panics
+    /// Panics if `dt` is negative or non-finite — a cost model returning a
+    /// negative or NaN duration is always a bug.
+    #[inline]
+    pub fn advance(&mut self, dt: Time) {
+        assert!(
+            dt.value() >= 0.0 && dt.is_finite(),
+            "cannot advance clock by {dt}"
+        );
+        self.now += dt;
+    }
+
+    /// Move the clock forward to `t` if `t` is later; no-op otherwise.
+    /// This is the primitive behind synchronisation: a rank that reaches a
+    /// barrier early waits until the last participant arrives.
+    #[inline]
+    pub fn advance_to(&mut self, t: Time) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+/// Align a set of clocks at a synchronisation point: every clock jumps to the
+/// latest time among them. Returns that time.
+pub fn synchronize(clocks: &mut [VirtualClock]) -> Time {
+    let latest = clocks
+        .iter()
+        .map(|c| c.now())
+        .fold(Time::ZERO, Time::max);
+    for c in clocks.iter_mut() {
+        c.advance_to(latest);
+    }
+    latest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), Time::ZERO);
+        c.advance(Time::seconds(1.5));
+        c.advance(Time::seconds(0.5));
+        assert_eq!(c.now(), Time::seconds(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance")]
+    fn negative_advance_panics() {
+        let mut c = VirtualClock::new();
+        c.advance(Time::seconds(-1.0));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut c = VirtualClock::new();
+        c.advance(Time::seconds(5.0));
+        c.advance_to(Time::seconds(3.0));
+        assert_eq!(c.now(), Time::seconds(5.0));
+        c.advance_to(Time::seconds(7.0));
+        assert_eq!(c.now(), Time::seconds(7.0));
+    }
+
+    #[test]
+    fn synchronize_aligns_to_latest() {
+        let mut clocks = vec![VirtualClock::new(); 3];
+        clocks[0].advance(Time::seconds(1.0));
+        clocks[1].advance(Time::seconds(4.0));
+        clocks[2].advance(Time::seconds(2.0));
+        let t = synchronize(&mut clocks);
+        assert_eq!(t, Time::seconds(4.0));
+        assert!(clocks.iter().all(|c| c.now() == Time::seconds(4.0)));
+    }
+
+    #[test]
+    fn synchronize_empty_is_zero() {
+        assert_eq!(synchronize(&mut []), Time::ZERO);
+    }
+}

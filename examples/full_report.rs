@@ -1,0 +1,22 @@
+//! Regenerate every table and figure of the paper into `./report/`.
+//!
+//! Each artifact is written as `<id>.txt` (human-readable) and `<id>.csv`
+//! (plot-ready), plus an `index.txt` mapping ids to paper sections.
+//!
+//! ```bash
+//! cargo run --release --example full_report [output-dir]
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "report".to_string())
+        .into();
+    let artifacts = cluster_eval::report::generate_report(&out).expect("report generation");
+    println!("wrote {} artifacts to {}", artifacts.len(), out.display());
+    for a in &artifacts {
+        println!("  {}", a.id());
+    }
+}

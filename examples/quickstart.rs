@@ -1,0 +1,62 @@
+//! Quickstart: the evaluation pipeline in one page.
+//!
+//! Builds the two machine models, runs the headline micro-benchmark and
+//! benchmark experiments, simulates one application study, and prints the
+//! Table-IV speedup summary.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use apps::alya::Alya;
+use apps::common::Cluster;
+use arch::machines::{cte_arm, marenostrum4};
+use cluster_eval::experiments;
+
+fn main() {
+    // 1. The machines, straight from the paper's Table I.
+    let cte = cte_arm();
+    let mn4 = marenostrum4();
+    println!(
+        "{}: {} × {} ({} cores, {:.1} GFlop/s DP peak/node, {:.0} GB/s HBM)",
+        cte.name,
+        cte.nodes,
+        cte.core.name,
+        cte.cores_per_node(),
+        cte.peak_dp_node().as_gflops(),
+        cte.memory.peak_bandwidth().as_gb_per_sec(),
+    );
+    println!(
+        "{}: {} × 2·{} ({} cores, {:.1} GFlop/s DP peak/node, {:.0} GB/s DDR4)\n",
+        mn4.name,
+        mn4.nodes,
+        mn4.core.name,
+        mn4.cores_per_node(),
+        mn4.peak_dp_node().as_gflops(),
+        mn4.memory.peak_bandwidth().as_gb_per_sec(),
+    );
+
+    // 2. Micro-benchmarks: the FPU µKernel (Fig. 1) and STREAM (Fig. 2).
+    for id in ["fig1", "fig2"] {
+        let artifact = experiments::run(id).expect("registered experiment");
+        println!("{}", artifact.to_text());
+    }
+
+    // 3. One application study: Alya on 16 nodes of each machine.
+    let alya = Alya::test_case_b();
+    for cluster in Cluster::BOTH {
+        let run = alya.simulate(cluster, 16);
+        println!(
+            "Alya TestCaseB on 16 × {:<14}: {:.2} s/step (assembly {:.2} s, solver {:.2} s)",
+            cluster.label(),
+            run.elapsed.value(),
+            run.phase("assembly").unwrap().value(),
+            run.phase("solver").unwrap().value(),
+        );
+    }
+    println!();
+
+    // 4. The bottom line: Table IV.
+    let table4 = experiments::run("table4").expect("registered experiment");
+    println!("{}", table4.to_text());
+}

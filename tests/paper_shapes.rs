@@ -1,0 +1,159 @@
+//! End-to-end shape checks: every headline number of the paper, asserted
+//! against the regenerated artifacts through the public experiment API.
+
+use cluster_eval::experiments::{run, Artifact};
+
+fn figure(id: &str) -> simkit::series::Figure {
+    match run(id).expect("registered") {
+        Artifact::Figure(f) => f,
+        Artifact::Table(_) => panic!("{id} should be a figure"),
+    }
+}
+
+fn table(id: &str) -> simkit::series::Table {
+    match run(id).expect("registered") {
+        Artifact::Table(t) => t,
+        Artifact::Figure(_) => panic!("{id} should be a table"),
+    }
+}
+
+#[test]
+fn fig1_sustained_matches_theoretical_peaks() {
+    // "the measurements match almost perfectly with the theoretical values"
+    let f = figure("fig1");
+    let cte_vec = f.series_named("CTE-Arm vector").unwrap();
+    assert!((cte_vec.y_at(2.0).unwrap() - 70.4).abs() < 1.0, "SVE double");
+    assert!((cte_vec.y_at(1.0).unwrap() - 140.8).abs() < 1.5, "SVE single");
+    assert!((cte_vec.y_at(0.0).unwrap() - 281.6).abs() < 3.0, "SVE half");
+    let mn4_vec = f.series_named("MareNostrum 4 vector").unwrap();
+    assert!((mn4_vec.y_at(2.0).unwrap() - 67.2).abs() < 1.0, "AVX-512 double");
+    assert!(mn4_vec.y_at(0.0).is_none(), "no FP16 arithmetic on Skylake");
+}
+
+#[test]
+fn fig2_stream_openmp_headlines() {
+    let f = figure("fig2");
+    // A64FX: 292 GB/s at 24 threads = 29 % of 1024 GB/s.
+    let cte = f.series_named("CTE-Arm (C)").unwrap();
+    assert_eq!(cte.argmax().unwrap(), 24.0);
+    let peak = cte.y_max().unwrap();
+    assert!((peak - 292.0).abs() < 8.0, "CTE peak {peak}");
+    assert!((peak / 1024.0 - 0.29).abs() < 0.02);
+    // MN4: 201.2 GB/s best at 48 threads.
+    let mn4 = f.series_named("MareNostrum 4 (C)").unwrap();
+    assert!((mn4.y_at(48.0).unwrap() - 201.2).abs() < 6.0);
+}
+
+#[test]
+fn fig3_stream_hybrid_headlines() {
+    let f = figure("fig3");
+    // Fortran 4×12 reaches 862.6 GB/s = 84 % of peak; C only 421.1.
+    let fortran = f.series_named("CTE-Arm (Fortran)").unwrap();
+    let best_f = fortran.y_max().unwrap();
+    assert!((best_f - 862.6).abs() < 4.0, "Fortran best {best_f}");
+    assert!((best_f / 1024.0 - 0.84).abs() < 0.01);
+    let c = f.series_named("CTE-Arm (C)").unwrap();
+    let best_c = c.y_max().unwrap();
+    assert!((best_c - 421.1).abs() < 4.0, "C best {best_c}");
+}
+
+#[test]
+fn fig6_linpack_efficiencies() {
+    // CTE-Arm 85 % of peak at 192 nodes vs MN4 63 %.
+    let f = figure("fig6");
+    let cte = f.series_named("CTE-Arm").unwrap().y_at(192.0).unwrap();
+    let mn4 = f.series_named("MareNostrum 4").unwrap().y_at(192.0).unwrap();
+    let cte_eff = cte / (192.0 * 3379.2);
+    let mn4_eff = mn4 / (192.0 * 3225.6);
+    assert!((cte_eff - 0.85).abs() < 0.02, "CTE efficiency {cte_eff}");
+    assert!((mn4_eff - 0.63).abs() < 0.05, "MN4 efficiency {mn4_eff}");
+}
+
+#[test]
+fn fig7_hpcg_fractions() {
+    // CTE-Arm optimized: 2.91 % (1 node) and 2.96 % (192 nodes) of peak.
+    let f = figure("fig7");
+    let opt = f.series_named("CTE-Arm (optimized)").unwrap();
+    let one = opt.y_at(1.0).unwrap() / 3379.2;
+    let full = opt.y_at(192.0).unwrap() / (192.0 * 3379.2);
+    assert!((one - 0.0291).abs() < 0.002, "1-node fraction {one}");
+    assert!((full - 0.0296).abs() < 0.002, "192-node fraction {full}");
+    assert!(full > one, "the fraction rises slightly with scale");
+}
+
+#[test]
+fn application_slowdowns_span_1_6_to_5() {
+    // "HPC applications tested suffer a slow-down between 1.6× and 3.4×"
+    // overall, with Alya's assembly phase reaching 4.96×.
+    let t = table("table4");
+    let col16 = t.columns.iter().position(|c| c == "16").unwrap();
+    for app in ["Alya", "Gromacs", "NEMO"] {
+        let row = t.rows.iter().find(|r| r[0] == app).unwrap();
+        let speedup: f64 = row[col16].parse().unwrap();
+        let slowdown = 1.0 / speedup;
+        assert!(
+            (1.5..=4.0).contains(&slowdown),
+            "{app}: slowdown {slowdown}"
+        );
+    }
+}
+
+#[test]
+fn benchmarks_and_applications_disagree() {
+    // The paper's closing observation: HPCG does not predict the trend of
+    // any application — benchmarks say the A64FX wins, applications lose.
+    let t = table("table4");
+    let col1 = t.columns.iter().position(|c| c == "1").unwrap();
+    let hpcg: f64 = t.rows.iter().find(|r| r[0] == "HPCG").unwrap()[col1]
+        .parse()
+        .unwrap();
+    let wrf: f64 = t.rows.iter().find(|r| r[0] == "WRF").unwrap()[col1]
+        .parse()
+        .unwrap();
+    assert!(hpcg > 2.0, "HPCG favours the A64FX: {hpcg}");
+    assert!(wrf < 0.6, "WRF favours the Xeon: {wrf}");
+}
+
+#[test]
+fn alya_phase_story_holds_end_to_end() {
+    // Assembly ~5× slower, solver ~1.8× slower, total ~3.4× at 12 nodes.
+    let f9 = figure("fig9");
+    let f10 = figure("fig10");
+    let ratio = |f: &simkit::series::Figure| {
+        f.series_named("CTE-Arm").unwrap().y_at(12.0).unwrap()
+            / f.series_named("MareNostrum 4").unwrap().y_at(12.0).unwrap()
+    };
+    let assembly = ratio(&f9);
+    let solver = ratio(&f10);
+    assert!((assembly - 4.96).abs() < 0.6, "assembly ratio {assembly}");
+    assert!((solver - 1.79).abs() < 0.35, "solver ratio {solver}");
+    assert!(
+        assembly > 2.0 * solver,
+        "HBM compresses the solver gap far below the assembly gap"
+    );
+}
+
+#[test]
+fn wrf_io_series_nearly_coincide() {
+    let f = figure("fig16");
+    let io = f.series_named("CTE-Arm (IO)").unwrap();
+    let no_io = f.series_named("CTE-Arm (no IO)").unwrap();
+    for (&(x, with), &(_, without)) in io.points.iter().zip(&no_io.points) {
+        assert!(without <= with, "no-IO never slower at {x} nodes");
+        assert!(
+            (with - without) / with < 0.1,
+            "difference small at {x} nodes"
+        );
+    }
+}
+
+#[test]
+fn every_experiment_produces_nonempty_output() {
+    for exp in cluster_eval::all_experiments() {
+        let artifact = (exp.run)();
+        let text = artifact.to_text();
+        assert!(text.len() > 50, "{}: text output too small", exp.id);
+        let csv = artifact.to_csv();
+        assert!(csv.lines().count() >= 2, "{}: CSV too small", exp.id);
+    }
+}
