@@ -18,6 +18,7 @@
 
 use crate::common::{min_nodes, with_job, AppRun, Cluster};
 use arch::cost::KernelProfile;
+use simkit::cache::{Cache, CacheKey};
 use simkit::series::{Figure, Series};
 use simkit::units::{Bytes, Time};
 
@@ -104,27 +105,26 @@ impl Alya {
         // Halo surface per rank: (E/ranks)^(2/3) interface elements × ~0.5 kB.
         let halo_bytes = Bytes::new(per_rank_elems.powf(2.0 / 3.0) * 500.0);
 
-        let (t_assembly, t_solver, elapsed) =
-            with_job(cluster, nodes, 48, 1, false, 17, |job| {
-                let mut t_assembly = Time::ZERO;
-                let mut t_solver = Time::ZERO;
-                for _ in 0..self.steps {
-                    let t0 = job.elapsed();
-                    job.compute(&assembly);
-                    job.halo(10, halo_bytes);
-                    let t1 = job.elapsed();
-                    t_assembly += t1 - t0;
-                    for _ in 0..self.solver_iters {
-                        job.compute(&solver_indexed);
-                        job.compute(&solver_stream);
-                        job.allreduce(Bytes::new(16.0));
-                        job.allreduce(Bytes::new(16.0));
-                    }
-                    let t2 = job.elapsed();
-                    t_solver += t2 - t1;
+        let (t_assembly, t_solver, elapsed) = with_job(cluster, nodes, 48, 1, false, 17, |job| {
+            let mut t_assembly = Time::ZERO;
+            let mut t_solver = Time::ZERO;
+            for _ in 0..self.steps {
+                let t0 = job.elapsed();
+                job.compute(&assembly);
+                job.halo(10, halo_bytes);
+                let t1 = job.elapsed();
+                t_assembly += t1 - t0;
+                for _ in 0..self.solver_iters {
+                    job.compute(&solver_indexed);
+                    job.compute(&solver_stream);
+                    job.allreduce(Bytes::new(16.0));
+                    job.allreduce(Bytes::new(16.0));
                 }
-                (t_assembly, t_solver, job.elapsed())
-            });
+                let t2 = job.elapsed();
+                t_solver += t2 - t1;
+            }
+            (t_assembly, t_solver, job.elapsed())
+        });
         let n = self.steps as f64;
         AppRun {
             elapsed: elapsed / n,
@@ -133,6 +133,15 @@ impl Alya {
                 ("solver".into(), t_solver / n),
             ],
         }
+    }
+
+    /// [`Self::simulate`] through a [`Cache`]: Figs. 8, 9 and 10 sweep the
+    /// identical study (they differ only in which phase they plot), and
+    /// Table IV revisits the 16-node point, so the first caller pays and
+    /// the rest reuse.
+    pub fn simulate_cached(&self, cache: &Cache, cluster: Cluster, nodes: usize) -> AppRun {
+        let key = CacheKey::new(cluster.label(), "alya", format!("{self:?}|nodes={nodes}"));
+        cache.get_or(key, || self.simulate(cluster, nodes))
     }
 
     /// Node counts plotted for each machine (paper: CTE-Arm 12–78,
@@ -144,12 +153,12 @@ impl Alya {
         }
     }
 
-    fn scaling_figure(&self, id: &str, title: &str, phase: Option<&str>) -> Figure {
+    fn scaling_figure(&self, cache: &Cache, id: &str, title: &str, phase: Option<&str>) -> Figure {
         let mut fig = Figure::new(id, title, "nodes", "time per step [s]");
         for cluster in Cluster::BOTH {
             let mut s = Series::new(cluster.label());
             for n in self.paper_node_counts(cluster) {
-                let run = self.simulate(cluster, n);
+                let run = self.simulate_cached(cache, cluster, n);
                 let t = match phase {
                     Some(p) => run.phase(p).expect("phase exists"),
                     None => run.elapsed,
@@ -163,17 +172,32 @@ impl Alya {
 
     /// Fig. 8 — average time step.
     pub fn figure8(&self) -> Figure {
-        self.scaling_figure("fig8", "Alya: scalability (average time step)", None)
+        self.figure8_cached(&Cache::new())
+    }
+
+    /// Fig. 8 with a shared sub-result cache.
+    pub fn figure8_cached(&self, cache: &Cache) -> Figure {
+        self.scaling_figure(cache, "fig8", "Alya: scalability (average time step)", None)
     }
 
     /// Fig. 9 — assembly phase.
     pub fn figure9(&self) -> Figure {
-        self.scaling_figure("fig9", "Alya: Assembly phase", Some("assembly"))
+        self.figure9_cached(&Cache::new())
+    }
+
+    /// Fig. 9 with a shared sub-result cache.
+    pub fn figure9_cached(&self, cache: &Cache) -> Figure {
+        self.scaling_figure(cache, "fig9", "Alya: Assembly phase", Some("assembly"))
     }
 
     /// Fig. 10 — solver phase.
     pub fn figure10(&self) -> Figure {
-        self.scaling_figure("fig10", "Alya: Solver phase", Some("solver"))
+        self.figure10_cached(&Cache::new())
+    }
+
+    /// Fig. 10 with a shared sub-result cache.
+    pub fn figure10_cached(&self, cache: &Cache) -> Figure {
+        self.scaling_figure(cache, "fig10", "Alya: Solver phase", Some("solver"))
     }
 }
 

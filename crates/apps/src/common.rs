@@ -69,10 +69,7 @@ pub struct AppRun {
 impl AppRun {
     /// Time of a named phase.
     pub fn phase(&self, name: &str) -> Option<Time> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, t)| t)
+        self.phases.iter().find(|(n, _)| n == name).map(|&(_, t)| t)
     }
 }
 
@@ -200,10 +197,7 @@ mod tests {
     #[test]
     fn compiler_selection_matches_paper() {
         use arch::compiler::CompilerId;
-        assert_eq!(
-            Cluster::CteArm.app_compiler(false).id,
-            CompilerId::GnuSve
-        );
+        assert_eq!(Cluster::CteArm.app_compiler(false).id, CompilerId::GnuSve);
         assert_eq!(Cluster::CteArm.app_compiler(true).id, CompilerId::Gnu11);
         assert_eq!(
             Cluster::MareNostrum4.app_compiler(false).id,

@@ -17,6 +17,7 @@
 
 use crate::common::{with_job, AppRun, Cluster};
 use arch::cost::KernelProfile;
+use simkit::cache::{Cache, CacheKey};
 use simkit::series::{Figure, Series};
 use simkit::units::{Bytes, Time};
 
@@ -119,9 +120,35 @@ impl Gromacs {
         }
     }
 
+    /// [`Self::simulate_config`] through a [`Cache`]: Fig. 13's multi-node
+    /// sweep and Table IV share most node counts, and Fig. 12's
+    /// single-node 8×6 point is Fig. 13's 1-node point.
+    pub fn simulate_config_cached(
+        &self,
+        cache: &Cache,
+        cluster: Cluster,
+        nodes: usize,
+        ranks_per_node: usize,
+        threads_per_rank: usize,
+    ) -> AppRun {
+        let key = CacheKey::new(
+            cluster.label(),
+            "gromacs",
+            format!("{self:?}|nodes={nodes}|rpn={ranks_per_node}|tpr={threads_per_rank}"),
+        );
+        cache.get_or(key, || {
+            self.simulate_config(cluster, nodes, ranks_per_node, threads_per_rank)
+        })
+    }
+
     /// Default configuration: 6 OpenMP threads per rank, node-filling.
     pub fn simulate(&self, cluster: Cluster, nodes: usize) -> AppRun {
         self.simulate_config(cluster, nodes, 8, 6)
+    }
+
+    /// Default configuration through a [`Cache`].
+    pub fn simulate_cached(&self, cache: &Cache, cluster: Cluster, nodes: usize) -> AppRun {
+        self.simulate_config_cached(cache, cluster, nodes, 8, 6)
     }
 
     /// Days of wall-clock per simulated nanosecond (the y-axis of
@@ -134,6 +161,11 @@ impl Gromacs {
 
     /// Fig. 12 — single-node scalability: x = cores (ranks × 6 threads).
     pub fn figure12(&self) -> Figure {
+        self.figure12_cached(&Cache::new())
+    }
+
+    /// Fig. 12 with a shared sub-result cache.
+    pub fn figure12_cached(&self, cache: &Cache) -> Figure {
         let mut fig = Figure::new(
             "fig12",
             "Gromacs: single-node scalability (6 threads/rank)",
@@ -143,7 +175,7 @@ impl Gromacs {
         for cluster in Cluster::BOTH {
             let mut s = Series::new(cluster.label());
             for ranks in 1..=8usize {
-                let run = self.simulate_config(cluster, 1, ranks, 6);
+                let run = self.simulate_config_cached(cache, cluster, 1, ranks, 6);
                 s.push((ranks * 6) as f64, self.days_per_ns(&run));
             }
             fig.series.push(s);
@@ -154,6 +186,11 @@ impl Gromacs {
     /// Fig. 13 — multi-node scalability, plus the alternative 12×8
     /// configuration as dotted series.
     pub fn figure13(&self) -> Figure {
+        self.figure13_cached(&Cache::new())
+    }
+
+    /// Fig. 13 with a shared sub-result cache.
+    pub fn figure13_cached(&self, cache: &Cache) -> Figure {
         let mut fig = Figure::new(
             "fig13",
             "Gromacs: multi-node scalability",
@@ -164,14 +201,14 @@ impl Gromacs {
         for cluster in Cluster::BOTH {
             let mut s = Series::new(cluster.label());
             for &n in &counts {
-                let run = self.simulate(cluster, n);
+                let run = self.simulate_cached(cache, cluster, n);
                 s.push(n as f64, self.days_per_ns(&run));
             }
             fig.series.push(s);
             // The alternative config at the anomalous point (2 nodes).
             let mut alt = Series::new(format!("{} (12×8 alt)", cluster.label()));
             for &n in &[1usize, 2, 4] {
-                let run = self.simulate_config(cluster, n, 6, 8);
+                let run = self.simulate_config_cached(cache, cluster, n, 6, 8);
                 alt.push(n as f64, self.days_per_ns(&run));
             }
             fig.series.push(alt);

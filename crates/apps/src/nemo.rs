@@ -12,6 +12,7 @@
 
 use crate::common::{with_job, AppRun, Cluster};
 use arch::cost::KernelProfile;
+use simkit::cache::{Cache, CacheKey};
 use simkit::series::{Figure, Series};
 use simkit::units::Bytes;
 
@@ -68,12 +69,8 @@ impl Nemo {
         );
         let ranks = nodes * 48;
         let per_rank = self.grid_points / ranks as f64;
-        let compute = KernelProfile::dp(
-            "nemo-step-indexed",
-            per_rank * self.flops_per_point,
-            0.0,
-        )
-        .with_vectorizable(0.30);
+        let compute = KernelProfile::dp("nemo-step-indexed", per_rank * self.flops_per_point, 0.0)
+            .with_vectorizable(0.30);
         let stream = KernelProfile::dp("nemo-step-stream", 0.0, per_rank * self.bytes_per_point);
         // 2-D horizontal decomposition: halo = 4 edges of
         // √(horizontal points) × levels × 3 fields × 8 B.
@@ -97,6 +94,13 @@ impl Nemo {
         }
     }
 
+    /// [`Self::simulate`] through a [`Cache`]: Table IV revisits the
+    /// 16-node point that Fig. 11 already sweeps.
+    pub fn simulate_cached(&self, cache: &Cache, cluster: Cluster, nodes: usize) -> AppRun {
+        let key = CacheKey::new(cluster.label(), "nemo", format!("{self:?}|nodes={nodes}"));
+        cache.get_or(key, || self.simulate(cluster, nodes))
+    }
+
     /// Node counts plotted (paper: CTE-Arm 8–192, MareNostrum 4 1–24).
     pub fn paper_node_counts(&self, cluster: Cluster) -> Vec<usize> {
         match cluster {
@@ -107,11 +111,19 @@ impl Nemo {
 
     /// Fig. 11 — execution time vs nodes (log–log in the paper).
     pub fn figure11(&self) -> Figure {
+        self.figure11_cached(&Cache::new())
+    }
+
+    /// Fig. 11 with a shared sub-result cache.
+    pub fn figure11_cached(&self, cache: &Cache) -> Figure {
         let mut fig = Figure::new("fig11", "NEMO: scalability", "nodes", "execution time [s]");
         for cluster in Cluster::BOTH {
             let mut s = Series::new(cluster.label());
             for n in self.paper_node_counts(cluster) {
-                s.push(n as f64, self.simulate(cluster, n).elapsed.value());
+                s.push(
+                    n as f64,
+                    self.simulate_cached(cache, cluster, n).elapsed.value(),
+                );
             }
             fig.series.push(s);
         }

@@ -12,6 +12,7 @@
 
 use crate::common::{min_nodes, with_job, AppRun, Cluster};
 use arch::cost::KernelProfile;
+use simkit::cache::{Cache, CacheKey};
 use simkit::series::{Figure, Series};
 use simkit::units::{Bytes, Time};
 
@@ -86,14 +87,10 @@ impl OpenIfs {
         let ranks = nodes * ranks_per_node;
         let points = self.columns * self.levels as f64;
         let per_rank = points / ranks as f64;
-        let gridpoint = KernelProfile::dp(
-            "openifs-gridpoint",
-            per_rank * self.flops_per_point,
-            0.0,
-        )
-        .with_vectorizable(0.55);
-        let stream =
-            KernelProfile::dp("openifs-stream", 0.0, per_rank * self.bytes_per_point);
+        let gridpoint =
+            KernelProfile::dp("openifs-gridpoint", per_rank * self.flops_per_point, 0.0)
+                .with_vectorizable(0.55);
+        let stream = KernelProfile::dp("openifs-stream", 0.0, per_rank * self.bytes_per_point);
         // Each transposition moves the rank's state slice to every peer:
         // per-pair payload = state / ranks².
         let alltoall_bytes = Bytes::new(self.state_bytes / (ranks as f64 * ranks as f64));
@@ -112,9 +109,7 @@ impl OpenIfs {
             job.elapsed()
         });
         AppRun {
-            elapsed: Time::seconds(
-                elapsed.value() / steps as f64 * self.steps_per_day as f64,
-            ),
+            elapsed: Time::seconds(elapsed.value() / steps as f64 * self.steps_per_day as f64),
             phases: Vec::new(),
         }
     }
@@ -124,8 +119,36 @@ impl OpenIfs {
         self.simulate_ranks(cluster, nodes, 48)
     }
 
+    /// [`Self::simulate_ranks`] through a [`Cache`]: Table IV's node
+    /// counts overlap Fig. 15's sweep, and its single-node point is
+    /// Fig. 14's 48-rank point.
+    pub fn simulate_ranks_cached(
+        &self,
+        cache: &Cache,
+        cluster: Cluster,
+        nodes: usize,
+        ranks_per_node: usize,
+    ) -> AppRun {
+        let key = CacheKey::new(
+            cluster.label(),
+            "openifs",
+            format!("{self:?}|nodes={nodes}|rpn={ranks_per_node}"),
+        );
+        cache.get_or(key, || self.simulate_ranks(cluster, nodes, ranks_per_node))
+    }
+
+    /// Node-filling run through a [`Cache`].
+    pub fn simulate_cached(&self, cache: &Cache, cluster: Cluster, nodes: usize) -> AppRun {
+        self.simulate_ranks_cached(cache, cluster, nodes, 48)
+    }
+
     /// Fig. 14 — single-node study with TL255L91: x = MPI ranks.
     pub fn figure14() -> Figure {
+        Self::figure14_cached(&Cache::new())
+    }
+
+    /// Fig. 14 with a shared sub-result cache.
+    pub fn figure14_cached(cache: &Cache) -> Figure {
         let input = Self::tl255l91();
         let mut fig = Figure::new(
             "fig14",
@@ -136,7 +159,7 @@ impl OpenIfs {
         for cluster in Cluster::BOTH {
             let mut s = Series::new(cluster.label());
             for ranks in [8usize, 16, 24, 32, 40, 48] {
-                let run = input.simulate_ranks(cluster, 1, ranks);
+                let run = input.simulate_ranks_cached(cache, cluster, 1, ranks);
                 s.push(ranks as f64, run.elapsed.value());
             }
             fig.series.push(s);
@@ -146,6 +169,11 @@ impl OpenIfs {
 
     /// Fig. 15 — multi-node study with TC0511L91: x = nodes.
     pub fn figure15() -> Figure {
+        Self::figure15_cached(&Cache::new())
+    }
+
+    /// Fig. 15 with a shared sub-result cache.
+    pub fn figure15_cached(cache: &Cache) -> Figure {
         let input = Self::tc0511l91();
         let mut fig = Figure::new(
             "fig15",
@@ -160,7 +188,10 @@ impl OpenIfs {
             };
             let mut s = Series::new(cluster.label());
             for n in counts {
-                s.push(n as f64, input.simulate(cluster, n).elapsed.value());
+                s.push(
+                    n as f64,
+                    input.simulate_cached(cache, cluster, n).elapsed.value(),
+                );
             }
             fig.series.push(s);
         }
@@ -175,7 +206,10 @@ mod tests {
     #[test]
     fn memory_minimums_match_paper() {
         let multi = OpenIfs::tc0511l91();
-        assert_eq!(multi.min_nodes(Cluster::CteArm), 30.max(multi.min_nodes(Cluster::CteArm)));
+        assert_eq!(
+            multi.min_nodes(Cluster::CteArm),
+            30.max(multi.min_nodes(Cluster::CteArm))
+        );
         assert!((30..=32).contains(&multi.min_nodes(Cluster::CteArm)));
         assert!(multi.min_nodes(Cluster::MareNostrum4) <= 10);
         let single = OpenIfs::tl255l91();
@@ -219,7 +253,10 @@ mod tests {
             / input.simulate(Cluster::MareNostrum4, 128).elapsed;
         assert!((r32 - 3.55).abs() < 0.6, "32-node ratio {r32}");
         assert!(r128 < r32, "gap must narrow with scale: {r32} -> {r128}");
-        assert!((2.3..=3.4).contains(&r128), "128-node ratio {r128} (paper 2.56)");
+        assert!(
+            (2.3..=3.4).contains(&r128),
+            "128-node ratio {r128} (paper 2.56)"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::common::{with_job, AppRun, Cluster};
 use arch::cost::KernelProfile;
+use simkit::cache::{Cache, CacheKey};
 use simkit::series::{Figure, Series};
 use simkit::units::{Bytes, Time};
 
@@ -61,18 +62,13 @@ impl Wrf {
         let ranks = nodes * 48;
         let points = self.horiz_points * self.levels as f64;
         let per_rank = points / ranks as f64;
-        let physics = KernelProfile::dp(
-            "wrf-physics",
-            per_rank * self.flops_per_point,
-            0.0,
-        )
-        .with_vectorizable(0.30);
+        let physics = KernelProfile::dp("wrf-physics", per_rank * self.flops_per_point, 0.0)
+            .with_vectorizable(0.30);
         let stream = KernelProfile::dp("wrf-stream", 0.0, per_rank * self.bytes_per_point);
         // 2-D decomposition halo: 4 edges × √(horiz/ranks) × levels × 8 B
         // × 3 prognostic field groups.
-        let halo_bytes = Bytes::new(
-            (self.horiz_points / ranks as f64).sqrt() * self.levels as f64 * 8.0 * 3.0,
-        );
+        let halo_bytes =
+            Bytes::new((self.horiz_points / ranks as f64).sqrt() * self.levels as f64 * 8.0 * 3.0);
 
         let (step_time, io_time) = with_job(cluster, nodes, 48, 1, false, 37, |job| {
             for _ in 0..self.steps {
@@ -104,8 +100,30 @@ impl Wrf {
         }
     }
 
+    /// [`Self::simulate`] through a [`Cache`]: Table IV revisits Fig. 16's
+    /// IO-enabled runs at 1–64 nodes.
+    pub fn simulate_cached(
+        &self,
+        cache: &Cache,
+        cluster: Cluster,
+        nodes: usize,
+        io: bool,
+    ) -> AppRun {
+        let key = CacheKey::new(
+            cluster.label(),
+            "wrf",
+            format!("{self:?}|nodes={nodes}|io={io}"),
+        );
+        cache.get_or(key, || self.simulate(cluster, nodes, io))
+    }
+
     /// Fig. 16 — scalability with IO enabled and disabled.
     pub fn figure16(&self) -> Figure {
+        self.figure16_cached(&Cache::new())
+    }
+
+    /// Fig. 16 with a shared sub-result cache.
+    pub fn figure16_cached(&self, cache: &Cache) -> Figure {
         let mut fig = Figure::new(
             "fig16",
             "WRF: scalability (Iberia 4 km, 56 h)",
@@ -115,14 +133,13 @@ impl Wrf {
         let counts = [1usize, 2, 4, 8, 16, 32, 64];
         for cluster in Cluster::BOTH {
             for io in [true, false] {
-                let label = format!(
-                    "{} ({})",
-                    cluster.label(),
-                    if io { "IO" } else { "no IO" }
-                );
+                let label = format!("{} ({})", cluster.label(), if io { "IO" } else { "no IO" });
                 let mut s = Series::new(label);
                 for &n in &counts {
-                    s.push(n as f64, self.simulate(cluster, n, io).elapsed.value());
+                    s.push(
+                        n as f64,
+                        self.simulate_cached(cache, cluster, n, io).elapsed.value(),
+                    );
                 }
                 fig.series.push(s);
             }

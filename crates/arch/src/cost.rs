@@ -159,7 +159,10 @@ impl<'a> CostModel<'a> {
     /// Time for a chunk evenly split across `cores` cores of the node
     /// (perfect load balance within the node).
     pub fn parallel_time(&self, profile: &KernelProfile, cores: usize) -> Time {
-        assert!(cores >= 1 && cores <= self.memory.cores(), "core count out of range");
+        assert!(
+            cores >= 1 && cores <= self.memory.cores(),
+            "core count out of range"
+        );
         let per_core = KernelProfile {
             flops: profile.flops / cores as f64,
             bytes: profile.bytes / cores as f64,

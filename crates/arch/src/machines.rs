@@ -43,7 +43,11 @@ impl Machine {
 
     /// Theoretical peak of `n` nodes.
     pub fn peak_dp_cluster(&self, n: usize) -> FlopRate {
-        assert!(n >= 1 && n <= self.nodes, "node count out of range for {}", self.name);
+        assert!(
+            n >= 1 && n <= self.nodes,
+            "node count out of range for {}",
+            self.name
+        );
         FlopRate::per_sec(self.peak_dp_node().value() * n as f64)
     }
 }

@@ -119,7 +119,10 @@ impl MemoryModel {
                 fortran: 0.842,
             },
             // OpenMP mode: C measured ~10 % faster than Fortran.
-            omp_efficiency: LanguageEfficiency { c: 1.0, fortran: 0.9 },
+            omp_efficiency: LanguageEfficiency {
+                c: 1.0,
+                fortran: 0.9,
+            },
             omp_contention_slope: 0.15,
             omp_contention_knee: 24,
         }
@@ -145,7 +148,10 @@ impl MemoryModel {
                 c: 0.786,
                 fortran: 0.786,
             },
-            omp_efficiency: LanguageEfficiency { c: 1.0, fortran: 1.0 },
+            omp_efficiency: LanguageEfficiency {
+                c: 1.0,
+                fortran: 1.0,
+            },
             omp_contention_slope: 0.0,
             omp_contention_knee: 48,
         }
@@ -169,7 +175,10 @@ impl MemoryModel {
     /// Sustained bandwidth of the OpenMP-only STREAM Triad at a given
     /// thread count with spread binding (the paper's Fig. 2).
     pub fn stream_openmp(&self, threads: usize, lang: Language) -> Bandwidth {
-        assert!(threads >= 1 && threads <= self.cores(), "thread count out of range");
+        assert!(
+            threads >= 1 && threads <= self.cores(),
+            "thread count out of range"
+        );
         // Spread binding: threads round-robin over domains.
         let n_dom = threads.min(self.n_domains);
         let per_dom_threads = threads.div_ceil(n_dom);
@@ -200,8 +209,8 @@ impl MemoryModel {
 
         // Oversubscription contention beyond the knee.
         if threads > self.omp_contention_knee {
-            let over = (threads - self.omp_contention_knee) as f64
-                / self.omp_contention_knee as f64;
+            let over =
+                (threads - self.omp_contention_knee) as f64 / self.omp_contention_knee as f64;
             t /= 1.0 + self.omp_contention_slope * over;
         }
 
@@ -211,7 +220,12 @@ impl MemoryModel {
     /// Sustained bandwidth of the MPI+OpenMP STREAM Triad with at most one
     /// rank per NUMA domain (the paper's Fig. 3). Each rank's arrays are
     /// local to its domain, so ranks scale the usable memory system.
-    pub fn stream_mpi_omp(&self, ranks: usize, threads_per_rank: usize, lang: Language) -> Bandwidth {
+    pub fn stream_mpi_omp(
+        &self,
+        ranks: usize,
+        threads_per_rank: usize,
+        lang: Language,
+    ) -> Bandwidth {
         assert!(
             ranks >= 1 && ranks <= self.n_domains,
             "at most one rank per NUMA domain"
@@ -349,7 +363,9 @@ mod tests {
     fn app_bandwidth_ratio_hbm_vs_ddr() {
         // HBM advantage for rank-per-core applications ≈ 4.3×.
         let a = MemoryModel::a64fx().app_sustained_bandwidth().value();
-        let s = MemoryModel::skylake_8160().app_sustained_bandwidth().value();
+        let s = MemoryModel::skylake_8160()
+            .app_sustained_bandwidth()
+            .value();
         let ratio = a / s;
         assert!(ratio > 3.5 && ratio < 5.0, "ratio {ratio}");
     }

@@ -54,9 +54,8 @@ impl Roofline {
     pub fn build(machine: &Machine, compiler: &Compiler) -> Self {
         let cores = machine.cores_per_node() as f64;
         let vector_peak = machine.peak_dp_node().value();
-        let scalar_sustained = machine.core.sustained_scalar().value()
-            * compiler.scalar_quality
-            * cores;
+        let scalar_sustained =
+            machine.core.sustained_scalar().value() * compiler.scalar_quality * cores;
         let uptake = compiler.uptake_app;
         // Amdahl blend of vector and scalar paths at full vectorizability.
         let compiler_ceiling = 1.0
@@ -152,7 +151,10 @@ mod tests {
         let achieved = r.ceilings[1].flops;
         let scalar = r.ceilings[2].flops;
         assert!(achieved < 0.1 * peak, "achieved {achieved} vs peak {peak}");
-        assert!(achieved < 1.35 * scalar, "achieved sits near the scalar roof");
+        assert!(
+            achieved < 1.35 * scalar,
+            "achieved sits near the scalar roof"
+        );
     }
 
     #[test]

@@ -32,8 +32,7 @@ fn solver_loop(algo: CollectiveAlgo) -> f64 {
         machine.memory.n_domains,
         machine.cores_per_node(),
     );
-    let mut job =
-        Job::new(&machine, &compiler, &net, layout, 1).with_collective_algo(algo);
+    let mut job = Job::new(&machine, &compiler, &net, layout, 1).with_collective_algo(algo);
     let profile = KernelProfile::dp("iter", 1e6, 1e5).with_vectorizable(0.3);
     for _ in 0..200 {
         job.compute(&profile);
@@ -49,11 +48,18 @@ fn ablation_collectives(c: &mut Criterion) {
     let auto = solver_loop(CollectiveAlgo::Auto);
     println!("== ablation: collective algorithm (64-node solver loop) ==");
     println!("  binomial tree: {tree:.4} s simulated");
-    println!("  ring:          {ring:.4} s simulated ({:.2}× tree)", ring / tree);
+    println!(
+        "  ring:          {ring:.4} s simulated ({:.2}× tree)",
+        ring / tree
+    );
     println!("  auto:          {auto:.4} s simulated\n");
     let mut g = c.benchmark_group("ablation_collectives");
-    g.bench_function("tree", |b| b.iter(|| black_box(solver_loop(CollectiveAlgo::BinomialTree))));
-    g.bench_function("ring", |b| b.iter(|| black_box(solver_loop(CollectiveAlgo::Ring))));
+    g.bench_function("tree", |b| {
+        b.iter(|| black_box(solver_loop(CollectiveAlgo::BinomialTree)))
+    });
+    g.bench_function("ring", |b| {
+        b.iter(|| black_box(solver_loop(CollectiveAlgo::Ring)))
+    });
     g.finish();
 }
 
@@ -66,8 +72,10 @@ fn placement_hops(policy: Placement, seed: u64) -> f64 {
 
 fn ablation_placement(c: &mut Criterion) {
     let contiguous = placement_hops(Placement::ContiguousBlock, 1);
-    let random: f64 =
-        (0..10).map(|s| placement_hops(Placement::Random, s)).sum::<f64>() / 10.0;
+    let random: f64 = (0..10)
+        .map(|s| placement_hops(Placement::Random, s))
+        .sum::<f64>()
+        / 10.0;
     println!("== ablation: placement policy (48-node job on the torus) ==");
     println!("  topology-aware block: {contiguous:.2} mean hops");
     println!(
@@ -210,7 +218,13 @@ fn solver_with_allocation(nodes: Vec<NodeId>) -> f64 {
     let machine = cte_arm();
     let compiler = Compiler::gnu_sve();
     let net = Network::new(TofuD::cte_arm(), LinkModel::tofud());
-    let layout = JobLayout::new(nodes, 48, 1, machine.memory.n_domains, machine.cores_per_node());
+    let layout = JobLayout::new(
+        nodes,
+        48,
+        1,
+        machine.memory.n_domains,
+        machine.cores_per_node(),
+    );
     let mut job = Job::new(&machine, &compiler, &net, layout, 1).with_imbalance(0.0);
     let profile = KernelProfile::dp("iter", 5e5, 5e4).with_vectorizable(0.3);
     for _ in 0..100 {

@@ -18,8 +18,12 @@ fn bench_fma(c: &mut Criterion) {
     let mut g = c.benchmark_group("fpu_ukernel");
     let iters = 200_000u64;
     g.throughput(Throughput::Elements(iters * fma::CHAINS as u64 * 2));
-    g.bench_function("scalar_f64", |b| b.iter(|| black_box(fma::scalar_f64(iters))));
-    g.bench_function("scalar_f32", |b| b.iter(|| black_box(fma::scalar_f32(iters))));
+    g.bench_function("scalar_f64", |b| {
+        b.iter(|| black_box(fma::scalar_f64(iters)))
+    });
+    g.bench_function("scalar_f32", |b| {
+        b.iter(|| black_box(fma::scalar_f32(iters)))
+    });
     g.throughput(Throughput::Elements(iters / 8 * 256 * 2));
     g.bench_function("vector_f64", |b| {
         b.iter(|| black_box(fma::vector_f64(iters / 8)))
@@ -99,7 +103,9 @@ fn bench_app_kernels(c: &mut Criterion) {
     });
     // NEMO proxy: ocean step.
     let mut ocean = kernels::stencil::OceanGrid::with_bump(512, 512);
-    g.bench_function("ocean_step_512", |b| b.iter(|| black_box(ocean.step(0.001, 1.0))));
+    g.bench_function("ocean_step_512", |b| {
+        b.iter(|| black_box(ocean.step(0.001, 1.0)))
+    });
     // WRF proxy: atmosphere step.
     let mut atmos = kernels::stencil::AtmosGrid::with_bubble(256, 256, 32);
     g.bench_function("atmos_step_256x32", |b| {
@@ -108,7 +114,9 @@ fn bench_app_kernels(c: &mut Criterion) {
     // Gromacs proxy: LJ force evaluation.
     let mut lj = LjSystem::cubic_lattice(12, 0.8, 1);
     lj.compute_forces();
-    g.bench_function("lj_forces_1728", |b| b.iter(|| black_box(lj.compute_forces())));
+    g.bench_function("lj_forces_1728", |b| {
+        b.iter(|| black_box(lj.compute_forces()))
+    });
     // OpenIFS proxy: FFT.
     let mut rng = Pcg32::seeded(2);
     let signal: Vec<(f64, f64)> = (0..4096)

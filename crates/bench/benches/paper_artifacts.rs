@@ -2,6 +2,7 @@
 //! headline values so the bench log doubles as a reproduction record.
 
 use bench::quick;
+use cluster_eval::engine::Ctx;
 use cluster_eval::experiments::{all_experiments, run, Artifact};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -12,7 +13,8 @@ fn bench_artifacts(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper");
     for exp in all_experiments() {
         group.bench_function(exp.id, |b| {
-            b.iter(|| black_box((exp.run)()));
+            // Fresh context per iteration: time the uncached regeneration.
+            b.iter(|| black_box((exp.run)(&Ctx::new())));
         });
     }
     group.finish();
@@ -39,7 +41,11 @@ fn print_headlines() {
     }
     if let Some(Artifact::Figure(f)) = run("fig6") {
         let cte = f.series_named("CTE-Arm").unwrap().y_at(192.0).unwrap();
-        let mn4 = f.series_named("MareNostrum 4").unwrap().y_at(192.0).unwrap();
+        let mn4 = f
+            .series_named("MareNostrum 4")
+            .unwrap()
+            .y_at(192.0)
+            .unwrap();
         println!(
             "fig6  HPL @192 nodes: CTE {:.1}% of peak, MN4 {:.1}% (paper: 85 / 63)",
             100.0 * cte / (192.0 * 3379.2),

@@ -4,8 +4,8 @@
 
 use bench::quick;
 use criterion::{criterion_group, criterion_main, Criterion};
-use hpl::distributed::BlockCyclicLu;
 use hpcg::distributed::DistributedCg;
+use hpl::distributed::BlockCyclicLu;
 use kernels::matrix::DenseMatrix;
 use kernels::mg::{mg_pcg, MgHierarchy};
 use sched::{AllocationPolicy, Allocator, JobRequest, Scheduler};
@@ -112,8 +112,7 @@ fn bench_scheduler(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let alloc =
-                    Allocator::new(interconnect::tofu::TofuD::cte_arm(), policy, 1);
+                let alloc = Allocator::new(interconnect::tofu::TofuD::cte_arm(), policy, 1);
                 black_box(Scheduler::new(alloc, true).run(scheduler_workload()))
             })
         });

@@ -3,10 +3,14 @@
 //! ```text
 //! cluster-eval list                 list every experiment (paper + extensions)
 //! cluster-eval run <id> [--csv]     regenerate one artifact (fig1..fig16, table1..table4, ext_*)
+//! cluster-eval run --all [--jobs N] [--filter GLOB]
+//!                                   run the registry on a worker pool with a shared cache
+//! cluster-eval bench-all [--csv]    run everything, report wall time and cache hits/misses
 //! cluster-eval report [dir]         write all artifacts to <dir> (default ./report)
 //! cluster-eval table4               shortcut for the speedup summary
 //! ```
 
+use cluster_eval::engine::{filter_experiments, run_experiments, suggestions, Ctx, RunReport};
 use cluster_eval::experiments::{all_experiments, run};
 use cluster_eval::extensions::{extension_experiments, run_extension};
 use std::process::ExitCode;
@@ -14,9 +18,134 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cluster-eval list\n  cluster-eval run <id> [--csv]\n  \
+         cluster-eval run --all [--jobs N] [--filter GLOB]\n  \
+         cluster-eval bench-all [--csv]\n  \
          cluster-eval report [dir]\n  cluster-eval table4\n  cluster-eval validate"
     );
     ExitCode::from(2)
+}
+
+/// Parse `--jobs N` (default: 1) and `--filter GLOB` (default: none).
+fn parse_engine_flags(args: &[String]) -> Result<(usize, Option<String>), String> {
+    let mut jobs = 1usize;
+    let mut filter = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| format!("bad --jobs value '{v}'"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--filter" => {
+                filter = Some(it.next().ok_or("--filter needs a glob")?.clone());
+            }
+            "--all" | "--csv" => {}
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok((jobs, filter))
+}
+
+fn print_run_summary(reports: &[RunReport]) {
+    let total_hits: u64 = reports.iter().map(|r| r.cache_hits).sum();
+    let total_misses: u64 = reports.iter().map(|r| r.cache_misses).sum();
+    println!(
+        "{:<10} {:>10} {:>8} {:>8}  title",
+        "id", "wall [ms]", "hits", "misses"
+    );
+    for r in reports {
+        println!(
+            "{:<10} {:>10.1} {:>8} {:>8}  {}",
+            r.id,
+            r.wall.as_secs_f64() * 1e3,
+            r.cache_hits,
+            r.cache_misses,
+            r.title
+        );
+    }
+    println!(
+        "{} experiments, {total_hits} cache hits / {total_misses} misses",
+        reports.len()
+    );
+}
+
+fn reports_csv(reports: &[RunReport]) -> String {
+    let mut out = String::from("id,section,wall_ms,cache_hits,cache_misses\n");
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{:.3},{},{}\n",
+            r.id,
+            r.section,
+            r.wall.as_secs_f64() * 1e3,
+            r.cache_hits,
+            r.cache_misses
+        ));
+    }
+    out
+}
+
+fn run_all(args: &[String]) -> ExitCode {
+    let (jobs, filter) = match parse_engine_flags(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let selected = filter_experiments(all_experiments(), filter.as_deref());
+    if selected.is_empty() {
+        eprintln!(
+            "--filter '{}' matches no experiment",
+            filter.unwrap_or_default()
+        );
+        return ExitCode::FAILURE;
+    }
+    let ctx = Ctx::new();
+    let reports = run_experiments(selected, jobs, &ctx);
+    print_run_summary(&reports);
+    ExitCode::SUCCESS
+}
+
+fn run_one(id: &str, csv: bool) -> ExitCode {
+    match run(id).or_else(|| run_extension(id)) {
+        Some(a) => {
+            print!("{}", if csv { a.to_csv() } else { a.to_text() });
+            ExitCode::SUCCESS
+        }
+        None => {
+            let registry: Vec<&str> = all_experiments()
+                .iter()
+                .map(|e| e.id)
+                .chain(extension_experiments().iter().map(|e| e.id))
+                .collect();
+            let near = suggestions(id, registry);
+            if near.is_empty() {
+                eprintln!("unknown experiment '{id}' — try `cluster-eval list`");
+            } else {
+                eprintln!(
+                    "unknown experiment '{id}' — did you mean {}?",
+                    near.join(" or ")
+                );
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_all(csv: bool) -> ExitCode {
+    let ctx = Ctx::new();
+    let mut experiments = all_experiments();
+    experiments.extend(extension_experiments());
+    let reports = run_experiments(experiments, 1, &ctx);
+    if csv {
+        print!("{}", reports_csv(&reports));
+    } else {
+        print_run_summary(&reports);
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -34,22 +163,18 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => {
+            if args.iter().any(|a| a == "--all") {
+                return run_all(&args[1..]);
+            }
             let Some(id) = args.get(1) else {
                 return usage();
             };
-            let csv = args.iter().any(|a| a == "--csv");
-            let artifact = run(id).or_else(|| run_extension(id));
-            match artifact {
-                Some(a) => {
-                    print!("{}", if csv { a.to_csv() } else { a.to_text() });
-                    ExitCode::SUCCESS
-                }
-                None => {
-                    eprintln!("unknown experiment '{id}' — try `cluster-eval list`");
-                    ExitCode::FAILURE
-                }
+            if id.starts_with("--") {
+                return usage();
             }
+            run_one(id, args.iter().any(|a| a == "--csv"))
         }
+        Some("bench-all") => bench_all(args.iter().any(|a| a == "--csv")),
         Some("report") => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "report".into());
             match cluster_eval::report::generate_report(std::path::Path::new(&dir)) {

@@ -1,5 +1,6 @@
 //! The experiment registry: every table and figure of the paper.
 
+use crate::engine::Ctx;
 use apps::common::Cluster;
 use arch::machines::{cte_arm, marenostrum4};
 use simkit::series::{Figure, Series, Table};
@@ -48,8 +49,12 @@ pub struct Experiment {
     pub title: &'static str,
     /// Which paper section it reproduces.
     pub section: &'static str,
-    /// Regenerate the artifact.
-    pub run: fn() -> Artifact,
+    /// Experiments whose cache entries this one reuses. The engine runs
+    /// deps first so that hit/miss attribution is deterministic at any
+    /// `--jobs` level; outside the engine they are advisory.
+    pub deps: &'static [&'static str],
+    /// Regenerate the artifact, memoizing sub-results in `ctx`.
+    pub run: fn(&Ctx) -> Artifact,
 }
 
 /// All experiments, in paper order.
@@ -59,134 +64,161 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "table1",
             title: "Hardware configuration of CTE-Arm and MareNostrum 4",
             section: "II",
+            deps: &[],
             run: table1,
         },
         Experiment {
             id: "table2",
             title: "Build configurations for STREAM",
             section: "III-B",
+            deps: &[],
             run: table2,
         },
         Experiment {
             id: "fig1",
             title: "FPU µKernel sustained performance",
             section: "III-A",
+            deps: &[],
             run: fig1,
         },
         Experiment {
             id: "fig2",
             title: "STREAM Triad bandwidth with OpenMP",
             section: "III-B",
+            deps: &[],
             run: fig2,
         },
         Experiment {
             id: "fig3",
             title: "STREAM Triad bandwidth with MPI+OpenMP",
             section: "III-B",
+            deps: &[],
             run: fig3,
         },
         Experiment {
             id: "fig4",
             title: "Bandwidth of all node-pairs (msg 256 B)",
             section: "III-C",
+            deps: &[],
             run: fig4,
         },
         Experiment {
             id: "fig5",
             title: "Bandwidth distribution across node pairs and sizes",
             section: "III-C",
+            deps: &[],
             run: fig5,
         },
         Experiment {
             id: "fig6",
             title: "Linpack scalability",
             section: "IV-A",
+            deps: &[],
             run: fig6,
         },
         Experiment {
             id: "fig7",
             title: "HPCG performance (vanilla and optimized)",
             section: "IV-B",
+            deps: &[],
             run: fig7,
         },
         Experiment {
             id: "table3",
             title: "Build configurations for all HPC applications",
             section: "V",
+            deps: &[],
             run: table3,
         },
         Experiment {
             id: "fig8",
             title: "Alya scalability",
             section: "V-A",
+            deps: &[],
             run: fig8,
         },
         Experiment {
             id: "fig9",
             title: "Alya assembly phase",
             section: "V-A",
+            deps: &["fig8"],
             run: fig9,
         },
         Experiment {
             id: "fig10",
             title: "Alya solver phase",
             section: "V-A",
+            deps: &["fig8"],
             run: fig10,
         },
         Experiment {
             id: "fig11",
             title: "NEMO scalability",
             section: "V-B",
+            deps: &[],
             run: fig11,
         },
         Experiment {
             id: "fig12",
             title: "Gromacs single-node scalability",
             section: "V-C",
+            deps: &[],
             run: fig12,
         },
         Experiment {
             id: "fig13",
             title: "Gromacs multi-node scalability",
             section: "V-C",
+            deps: &["fig12"],
             run: fig13,
         },
         Experiment {
             id: "fig14",
             title: "OpenIFS single-node scalability",
             section: "V-D",
+            deps: &[],
             run: fig14,
         },
         Experiment {
             id: "fig15",
             title: "OpenIFS multi-node scalability",
             section: "V-D",
+            deps: &[],
             run: fig15,
         },
         Experiment {
             id: "fig16",
             title: "WRF scalability (IO on/off)",
             section: "V-E",
+            deps: &[],
             run: fig16,
         },
         Experiment {
             id: "table4",
             title: "Speedup of CTE-Arm relative to MareNostrum 4",
             section: "VI",
+            deps: &[
+                "fig6", "fig7", "fig8", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            ],
             run: table4,
         },
     ]
 }
 
-/// Run one experiment by id.
+/// Run one experiment by id with a fresh (single-use) context.
 pub fn run(id: &str) -> Option<Artifact> {
+    run_in(&Ctx::new(), id)
+}
+
+/// Run one experiment by id, memoizing sub-results in `ctx`.
+pub fn run_in(ctx: &Ctx, id: &str) -> Option<Artifact> {
     all_experiments()
         .into_iter()
         .find(|e| e.id == id)
-        .map(|e| (e.run)())
+        .map(|e| (e.run)(ctx))
 }
 
-fn table1() -> Artifact {
+fn table1(_ctx: &Ctx) -> Artifact {
     let cte = cte_arm();
     let mn4 = marenostrum4();
     let mut t = Table::new(
@@ -195,13 +227,13 @@ fn table1() -> Artifact {
         vec!["Property", "CTE-Arm", "MareNostrum 4"],
     );
     let rows: Vec<(&str, String, String)> = vec![
-        ("System integrator", cte.integrator.clone(), mn4.integrator.clone()),
-        ("CPU name", cte.core.name.clone(), mn4.core.name.clone()),
         (
-            "SIMD extensions",
-            "NEON, SVE".into(),
-            "AVX512".into(),
+            "System integrator",
+            cte.integrator.clone(),
+            mn4.integrator.clone(),
         ),
+        ("CPU name", cte.core.name.clone(), mn4.core.name.clone()),
+        ("SIMD extensions", "NEON, SVE".into(), "AVX512".into()),
         (
             "Frequency [GHz]",
             format!("{:.2}", cte.core.freq_ghz),
@@ -237,8 +269,16 @@ fn table1() -> Artifact {
             format!("{:.0}", cte.memory.peak_bandwidth().as_gb_per_sec()),
             format!("{:.0}", mn4.memory.peak_bandwidth().as_gb_per_sec()),
         ),
-        ("Num. of nodes", cte.nodes.to_string(), mn4.nodes.to_string()),
-        ("Interconnection", cte.interconnect.clone(), mn4.interconnect.clone()),
+        (
+            "Num. of nodes",
+            cte.nodes.to_string(),
+            mn4.nodes.to_string(),
+        ),
+        (
+            "Interconnection",
+            cte.interconnect.clone(),
+            mn4.interconnect.clone(),
+        ),
         (
             "Peak network bandwidth [GB/s]",
             format!("{:.2}", cte.network_peak.as_gb_per_sec()),
@@ -251,7 +291,7 @@ fn table1() -> Artifact {
     Artifact::Table(t)
 }
 
-fn table2() -> Artifact {
+fn table2(_ctx: &Ctx) -> Artifact {
     let mut t = Table::new(
         "table2",
         "Build configurations for STREAM",
@@ -280,13 +320,17 @@ fn table2() -> Artifact {
     Artifact::Table(t)
 }
 
-fn table3() -> Artifact {
+fn table3(_ctx: &Ctx) -> Artifact {
     let mut t = Table::new(
         "table3",
         "Build configurations for all HPC applications",
         vec!["Application", "CTE-Arm", "MareNostrum 4"],
     );
-    t.push_row(vec!["Alya", "GNU/8.3.1-sve + Fujitsu MPI 1.1.18", "GNU/8.4.2 + OpenMPI 4.0.2"]);
+    t.push_row(vec![
+        "Alya",
+        "GNU/8.3.1-sve + Fujitsu MPI 1.1.18",
+        "GNU/8.4.2 + OpenMPI 4.0.2",
+    ]);
     t.push_row(vec![
         "NEMO",
         "GNU/8.3.1-sve + Fujitsu MPI 1.2.26b",
@@ -310,39 +354,34 @@ fn table3() -> Artifact {
     Artifact::Table(t)
 }
 
-fn fig1() -> Artifact {
+fn fig1(_ctx: &Ctx) -> Artifact {
     Artifact::Figure(microbench::fpu::figure1(&cte_arm(), &marenostrum4()))
 }
 
-fn fig2() -> Artifact {
+fn fig2(_ctx: &Ctx) -> Artifact {
     Artifact::Figure(microbench::stream::figure2(&cte_arm(), &marenostrum4()))
 }
 
-fn fig3() -> Artifact {
+fn fig3(_ctx: &Ctx) -> Artifact {
     Artifact::Figure(microbench::stream::figure3(&cte_arm(), &marenostrum4()))
 }
 
-fn fig4() -> Artifact {
-    let map = microbench::network::figure4(4242);
+fn fig4(ctx: &Ctx) -> Artifact {
+    let map = microbench::network::figure4_cached(&ctx.cache, 4242);
     let summary = microbench::network::summarize_map(&map);
     let mut t = Table::new(
         "fig4",
         "Node-pair bandwidth map summary (msg 256 B; per-node means in GB/s)",
         vec!["node", "rx_mean", "tx_mean"],
     );
-    for (i, (rx, tx)) in summary
-        .rx_means
-        .iter()
-        .zip(&summary.tx_means)
-        .enumerate()
-    {
+    for (i, (rx, tx)) in summary.rx_means.iter().zip(&summary.tx_means).enumerate() {
         t.push_row(vec![i.to_string(), format!("{rx:.4}"), format!("{tx:.4}")]);
     }
     Artifact::Table(t)
 }
 
-fn fig5() -> Artifact {
-    let dists = microbench::network::figure5(4242, 2000);
+fn fig5(ctx: &Ctx) -> Artifact {
+    let dists = microbench::network::figure5_cached(&ctx.cache, 4242, 2000);
     let mut t = Table::new(
         "fig5",
         "Bandwidth distribution across node pairs by message size",
@@ -368,7 +407,7 @@ fn fig5() -> Artifact {
     Artifact::Table(t)
 }
 
-fn fig6() -> Artifact {
+fn fig6(ctx: &Ctx) -> Artifact {
     let mut fig = Figure::new("fig6", "Linpack scalability", "nodes", "GFlop/s");
     let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 192];
     for (machine, link) in [
@@ -377,7 +416,13 @@ fn fig6() -> Artifact {
     ] {
         let mut s = Series::new(machine.name.clone());
         for &n in &counts {
-            let r = hpl::simulate(&machine, &link, n, &hpl::paper_config(&machine, n));
+            let r = hpl::simulate_cached(
+                &ctx.cache,
+                &machine,
+                &link,
+                n,
+                &hpl::paper_config(&machine, n),
+            );
             s.push(n as f64, r.gflops);
         }
         fig.series.push(s);
@@ -385,7 +430,7 @@ fn fig6() -> Artifact {
     Artifact::Figure(fig)
 }
 
-fn fig7() -> Artifact {
+fn fig7(ctx: &Ctx) -> Artifact {
     let mut fig = Figure::new(
         "fig7",
         "HPCG performance, vanilla and optimized",
@@ -399,7 +444,12 @@ fn fig7() -> Artifact {
         ] {
             let mut s = Series::new(format!("{} ({vname})", machine.name));
             for n in [1usize, 192] {
-                let r = hpcg::simulate(&machine, n, &hpcg::HpcgConfig::paper(version));
+                let r = hpcg::simulate_cached(
+                    &ctx.cache,
+                    &machine,
+                    n,
+                    &hpcg::HpcgConfig::paper(version),
+                );
                 s.push(n as f64, r.gflops);
             }
             fig.series.push(s);
@@ -408,44 +458,44 @@ fn fig7() -> Artifact {
     Artifact::Figure(fig)
 }
 
-fn fig8() -> Artifact {
-    Artifact::Figure(apps::alya::Alya::test_case_b().figure8())
+fn fig8(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::alya::Alya::test_case_b().figure8_cached(&ctx.cache))
 }
 
-fn fig9() -> Artifact {
-    Artifact::Figure(apps::alya::Alya::test_case_b().figure9())
+fn fig9(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::alya::Alya::test_case_b().figure9_cached(&ctx.cache))
 }
 
-fn fig10() -> Artifact {
-    Artifact::Figure(apps::alya::Alya::test_case_b().figure10())
+fn fig10(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::alya::Alya::test_case_b().figure10_cached(&ctx.cache))
 }
 
-fn fig11() -> Artifact {
-    Artifact::Figure(apps::nemo::Nemo::bench_orca1().figure11())
+fn fig11(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::nemo::Nemo::bench_orca1().figure11_cached(&ctx.cache))
 }
 
-fn fig12() -> Artifact {
-    Artifact::Figure(apps::gromacs::Gromacs::lignocellulose_rf().figure12())
+fn fig12(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::gromacs::Gromacs::lignocellulose_rf().figure12_cached(&ctx.cache))
 }
 
-fn fig13() -> Artifact {
-    Artifact::Figure(apps::gromacs::Gromacs::lignocellulose_rf().figure13())
+fn fig13(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::gromacs::Gromacs::lignocellulose_rf().figure13_cached(&ctx.cache))
 }
 
-fn fig14() -> Artifact {
-    Artifact::Figure(apps::openifs::OpenIfs::figure14())
+fn fig14(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::openifs::OpenIfs::figure14_cached(&ctx.cache))
 }
 
-fn fig15() -> Artifact {
-    Artifact::Figure(apps::openifs::OpenIfs::figure15())
+fn fig15(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::openifs::OpenIfs::figure15_cached(&ctx.cache))
 }
 
-fn fig16() -> Artifact {
-    Artifact::Figure(apps::wrf::Wrf::iberia_4km().figure16())
+fn fig16(ctx: &Ctx) -> Artifact {
+    Artifact::Figure(apps::wrf::Wrf::iberia_4km().figure16_cached(&ctx.cache))
 }
 
-fn table4() -> Artifact {
-    Artifact::Table(crate::speedup::speedup_table())
+fn table4(ctx: &Ctx) -> Artifact {
+    Artifact::Table(crate::speedup::speedup_table_cached(&ctx.cache))
 }
 
 /// Convenience: the cluster a series label belongs to (used by reports).
@@ -467,9 +517,8 @@ mod tests {
     fn registry_covers_every_paper_artifact() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for want in [
-            "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
-            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig16",
+            "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
@@ -551,10 +600,7 @@ mod tests {
         assert!(mid[5].parse::<usize>().unwrap() >= 2);
         // Large-message rows have a bigger CV than small ones.
         let cv_of = |size: usize| {
-            t.rows
-                .iter()
-                .find(|r| r[0] == size.to_string())
-                .unwrap()[4]
+            t.rows.iter().find(|r| r[0] == size.to_string()).unwrap()[4]
                 .parse::<f64>()
                 .unwrap()
         };

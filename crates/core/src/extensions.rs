@@ -12,6 +12,7 @@
 //! * `ext_variability` — the stability claims of Sections III-A/B as
 //!   checkable numbers.
 
+use crate::engine::Ctx;
 use crate::experiments::{Artifact, Experiment};
 use apps::common::{Cluster, JobHandle};
 use arch::compiler::Compiler;
@@ -38,64 +39,78 @@ pub fn extension_experiments() -> Vec<Experiment> {
             id: "ext_fugaku",
             title: "Fugaku-scale validation vs Top500/HPCG Nov-2020",
             section: "IV (validation)",
+            deps: &[],
             run: ext_fugaku,
         },
         Experiment {
             id: "ext_roofline",
             title: "Rooflines under the production toolchains",
             section: "VI (analysis)",
+            deps: &[],
             run: ext_roofline,
         },
         Experiment {
             id: "ext_energy",
             title: "Energy-to-solution comparison",
             section: "VI (analysis)",
+            deps: &[],
             run: ext_energy,
         },
         Experiment {
             id: "ext_variability",
             title: "Variability of compute, memory and network",
             section: "III (claims)",
+            deps: &[],
             run: ext_variability,
         },
         Experiment {
             id: "ext_latency",
             title: "Point-to-point latency vs message size (OSU companion)",
             section: "III-C (extension)",
+            deps: &[],
             run: ext_latency,
         },
         Experiment {
             id: "ext_pop",
             title: "POP-style efficiency metrics from traced runs",
             section: "V (analysis)",
+            deps: &[],
             run: ext_pop,
         },
         Experiment {
             id: "ext_weak",
             title: "Weak scaling of a stencil workload",
             section: "V (extension)",
+            deps: &[],
             run: ext_weak,
         },
     ]
 }
 
-/// Run one extension experiment by id.
+/// Run one extension experiment by id with a fresh context.
 pub fn run_extension(id: &str) -> Option<Artifact> {
+    run_extension_in(&Ctx::new(), id)
+}
+
+/// Run one extension experiment by id, memoizing sub-results in `ctx`.
+pub fn run_extension_in(ctx: &Ctx, id: &str) -> Option<Artifact> {
     extension_experiments()
         .into_iter()
         .find(|e| e.id == id)
-        .map(|e| (e.run)())
+        .map(|e| (e.run)(ctx))
 }
 
-fn ext_fugaku() -> Artifact {
+fn ext_fugaku(ctx: &Ctx) -> Artifact {
     let f = fugaku();
-    let hpl_run = hpl::simulate(
+    let hpl_run = hpl::simulate_cached(
+        &ctx.cache,
         &f,
         &interconnect::link::LinkModel::tofud(),
         FUGAKU_NODES,
         &hpl::paper_config(&f, FUGAKU_NODES),
     );
-    let hpcg_run = hpcg::simulate(
+    let hpcg_run = hpcg::simulate_cached(
+        &ctx.cache,
         &f,
         FUGAKU_NODES,
         &hpcg::HpcgConfig::paper(hpcg::HpcgVersion::Optimized),
@@ -128,7 +143,7 @@ fn ext_fugaku() -> Artifact {
     Artifact::Table(t)
 }
 
-fn ext_roofline() -> Artifact {
+fn ext_roofline(_ctx: &Ctx) -> Artifact {
     let mut fig = Figure::new(
         "ext_roofline",
         "Rooflines under production toolchains (node level)",
@@ -151,7 +166,7 @@ fn ext_roofline() -> Artifact {
     Artifact::Figure(fig)
 }
 
-fn ext_energy() -> Artifact {
+fn ext_energy(_ctx: &Ctx) -> Artifact {
     let cte = cte_arm();
     let mn4 = marenostrum4();
     let gnu = Compiler::gnu_sve();
@@ -210,7 +225,7 @@ fn ext_energy() -> Artifact {
     Artifact::Table(t)
 }
 
-fn ext_variability() -> Artifact {
+fn ext_variability(ctx: &Ctx) -> Artifact {
     let cte = cte_arm();
     let mn4 = marenostrum4();
     let mut t = Table::new(
@@ -232,7 +247,7 @@ fn ext_variability() -> Artifact {
         format!("{:.4}", st_c),
         format!("{:.4}", st_m),
     ]);
-    let dists = microbench::network::figure5(15, 800);
+    let dists = microbench::network::figure5_cached(&ctx.cache, 15, 800);
     let net_small = dists.iter().find(|d| d.size == 4096).unwrap().cv;
     let net_large = dists.iter().find(|d| d.size == 4 * 1024 * 1024).unwrap().cv;
     t.push_row(vec![
@@ -248,7 +263,7 @@ fn ext_variability() -> Artifact {
     Artifact::Table(t)
 }
 
-fn ext_latency() -> Artifact {
+fn ext_latency(_ctx: &Ctx) -> Artifact {
     Artifact::Figure(microbench::latency::latency_figure())
 }
 
@@ -271,13 +286,11 @@ fn traced_step(cluster: Cluster, app: &str) -> (f64, f64) {
             "alya" => {
                 let e = 132e6 / ranks;
                 job.compute(
-                    &KernelProfile::dp("assembly", e * 25_000.0, e * 500.0)
-                        .with_vectorizable(0.97),
+                    &KernelProfile::dp("assembly", e * 25_000.0, e * 500.0).with_vectorizable(0.97),
                 );
                 for _ in 0..50 {
                     job.compute(
-                        &KernelProfile::dp("solver", e * 151.0, e * 64.0)
-                            .with_vectorizable(0.30),
+                        &KernelProfile::dp("solver", e * 151.0, e * 64.0).with_vectorizable(0.30),
                     );
                     job.allreduce(Bytes::new(16.0));
                     job.allreduce(Bytes::new(16.0));
@@ -285,7 +298,9 @@ fn traced_step(cluster: Cluster, app: &str) -> (f64, f64) {
             }
             "nemo" => {
                 let p = 600.0 * 500.0 * 75.0 / ranks;
-                job.compute(&KernelProfile::dp("step", p * 2750.0, p * 1200.0).with_vectorizable(0.3));
+                job.compute(
+                    &KernelProfile::dp("step", p * 2750.0, p * 1200.0).with_vectorizable(0.3),
+                );
                 job.halo(4, Bytes::kib(60.0));
                 for _ in 0..80 {
                     job.allreduce(Bytes::new(8.0));
@@ -310,19 +325,25 @@ fn traced_step(cluster: Cluster, app: &str) -> (f64, f64) {
             let mut job = Job::new(&machine, &compiler, &net, layout, 5).with_tracing();
             run(&mut job);
             let t = job.trace().expect("traced");
-            (t.fraction(Activity::Compute), t.fraction(Activity::Collective))
+            (
+                t.fraction(Activity::Compute),
+                t.fraction(Activity::Collective),
+            )
         }
         Cluster::MareNostrum4 => {
             let net = Network::new(FatTree::marenostrum4(), LinkModel::omnipath());
             let mut job = Job::new(&machine, &compiler, &net, layout, 5).with_tracing();
             run(&mut job);
             let t = job.trace().expect("traced");
-            (t.fraction(Activity::Compute), t.fraction(Activity::Collective))
+            (
+                t.fraction(Activity::Compute),
+                t.fraction(Activity::Collective),
+            )
         }
     }
 }
 
-fn ext_pop() -> Artifact {
+fn ext_pop(_ctx: &Ctx) -> Artifact {
     let mut t = Table::new(
         "ext_pop",
         "POP-style efficiency from traced 16-node runs (compute fraction / collective share)",
@@ -348,7 +369,7 @@ fn ext_pop() -> Artifact {
     Artifact::Table(t)
 }
 
-fn ext_weak() -> Artifact {
+fn ext_weak(_ctx: &Ctx) -> Artifact {
     // Weak scaling: constant per-rank ocean-stencil work, growing node
     // counts. Efficiency = t(1 node) / t(n nodes); 1.0 is perfect.
     let mut fig = Figure::new(
@@ -407,7 +428,7 @@ mod tests {
 
     #[test]
     fn fugaku_hpl_prediction_matches_top500() {
-        let Artifact::Table(t) = ext_fugaku() else {
+        let Artifact::Table(t) = ext_fugaku(&Ctx::new()) else {
             panic!("table expected");
         };
         let model_pf: f64 = t.cell(0, "Model").unwrap().parse().unwrap();
@@ -422,7 +443,7 @@ mod tests {
 
     #[test]
     fn fugaku_hpcg_prediction_matches_list() {
-        let Artifact::Table(t) = ext_fugaku() else {
+        let Artifact::Table(t) = ext_fugaku(&Ctx::new()) else {
             panic!("table expected");
         };
         let model_pf: f64 = t.cell(2, "Model").unwrap().parse().unwrap();
@@ -458,7 +479,7 @@ mod tests {
 
     #[test]
     fn energy_table_shows_the_efficiency_story() {
-        let Artifact::Table(t) = ext_energy() else {
+        let Artifact::Table(t) = ext_energy(&Ctx::new()) else {
             panic!("table expected");
         };
         // HPL-like: A64FX faster AND far more efficient.
@@ -466,17 +487,23 @@ mod tests {
         let hpl_energy: f64 = t.cell(0, "energy ratio").unwrap().parse().unwrap();
         assert!(hpl_time < 1.0);
         assert!(hpl_energy < 0.7, "A64FX HPL energy ratio {hpl_energy}");
-        assert!(hpl_energy < hpl_time, "energy advantage exceeds time advantage");
+        assert!(
+            hpl_energy < hpl_time,
+            "energy advantage exceeds time advantage"
+        );
         // Untuned app: slower in time, but energy gap is much smaller.
         let app_time: f64 = t.cell(1, "time ratio").unwrap().parse().unwrap();
         let app_energy: f64 = t.cell(1, "energy ratio").unwrap().parse().unwrap();
         assert!(app_time > 2.0);
-        assert!(app_energy < app_time, "energy gap {app_energy} < time gap {app_time}");
+        assert!(
+            app_energy < app_time,
+            "energy gap {app_energy} < time gap {app_time}"
+        );
     }
 
     #[test]
     fn variability_table_contrasts_compute_and_network() {
-        let Artifact::Table(t) = ext_variability() else {
+        let Artifact::Table(t) = ext_variability(&Ctx::new()) else {
             panic!("table expected");
         };
         let fpu: f64 = t.cell(0, "CTE-Arm CV").unwrap().parse().unwrap();
@@ -487,7 +514,7 @@ mod tests {
 
     #[test]
     fn roofline_figure_has_six_series() {
-        let Artifact::Figure(f) = ext_roofline() else {
+        let Artifact::Figure(f) = ext_roofline(&Ctx::new()) else {
             panic!("figure expected");
         };
         assert_eq!(f.series.len(), 6);
@@ -498,7 +525,7 @@ mod tests {
         // The same communication costs weigh more against MN4's faster
         // compute, so its compute fraction is lower for the solver-heavy
         // workloads.
-        let Artifact::Table(t) = ext_pop() else {
+        let Artifact::Table(t) = ext_pop(&Ctx::new()) else {
             panic!("table expected");
         };
         let alya = &t.rows[0];
@@ -513,7 +540,7 @@ mod tests {
 
     #[test]
     fn weak_scaling_stays_high_and_decays_slowly() {
-        let Artifact::Figure(f) = ext_weak() else {
+        let Artifact::Figure(f) = ext_weak(&Ctx::new()) else {
             panic!("figure expected");
         };
         for s in &f.series {
@@ -527,8 +554,9 @@ mod tests {
 
     #[test]
     fn extension_registry_is_runnable() {
+        let ctx = Ctx::new();
         for exp in extension_experiments() {
-            let a = (exp.run)();
+            let a = (exp.run)(&ctx);
             assert_eq!(a.id(), exp.id);
             assert!(a.to_text().len() > 50);
         }

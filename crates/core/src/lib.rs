@@ -16,16 +16,20 @@
 //! println!("{}", artifact.to_text());
 //! ```
 //!
-//! [`report`] renders every experiment into a text + CSV report directory.
+//! [`report`] renders every experiment into a text + CSV report directory,
+//! and [`engine`] runs any registry subset across a worker pool with a
+//! shared sub-result cache.
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
 pub mod extensions;
 pub mod report;
 pub mod speedup;
 pub mod validation;
 
+pub use engine::{run_experiments, Ctx, RunReport};
 pub use experiments::{all_experiments, run, Artifact, Experiment};
 pub use extensions::{extension_experiments, run_extension};
 pub use speedup::speedup_table;

@@ -1,5 +1,6 @@
 //! Report generation: render every experiment to text and CSV files.
 
+use crate::engine::Ctx;
 use crate::experiments::{all_experiments, Artifact};
 use crate::extensions::extension_experiments;
 use std::fs;
@@ -11,10 +12,11 @@ use std::path::Path;
 /// (created if missing) plus an `index.txt` summary. Returns the artifacts.
 pub fn generate_report(out_dir: &Path) -> io::Result<Vec<Artifact>> {
     fs::create_dir_all(out_dir)?;
+    let ctx = Ctx::new();
     let mut artifacts = Vec::new();
     let mut index = String::new();
     for exp in all_experiments().into_iter().chain(extension_experiments()) {
-        let artifact = (exp.run)();
+        let artifact = (exp.run)(&ctx);
         fs::write(out_dir.join(format!("{}.txt", exp.id)), artifact.to_text())?;
         fs::write(out_dir.join(format!("{}.csv", exp.id)), artifact.to_csv())?;
         index.push_str(&format!(
@@ -32,8 +34,9 @@ pub fn render_full_report() -> String {
     let mut out = String::new();
     out.push_str("A64FX cluster evaluation — regenerated paper artifacts\n");
     out.push_str("======================================================\n\n");
+    let ctx = Ctx::new();
     for exp in all_experiments().into_iter().chain(extension_experiments()) {
-        let artifact = (exp.run)();
+        let artifact = (exp.run)(&ctx);
         out.push_str(&artifact.to_text());
         out.push('\n');
     }

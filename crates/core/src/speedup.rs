@@ -12,6 +12,7 @@ use apps::openifs::OpenIfs;
 use apps::wrf::Wrf;
 use hpcg::{HpcgConfig, HpcgVersion};
 use interconnect::link::LinkModel;
+use simkit::cache::Cache;
 use simkit::series::Table;
 
 /// The node counts of Table IV's columns.
@@ -63,25 +64,44 @@ fn row(name: &str, measured: &[usize], f: impl Fn(usize) -> Cell) -> (String, Ve
     (name.to_string(), cells)
 }
 
-/// Compute the full Table-IV matrix.
+/// Compute the full Table-IV matrix with a fresh cache.
 pub fn speedup_cells() -> Vec<(String, Vec<Cell>)> {
+    speedup_cells_cached(&Cache::new())
+}
+
+/// Compute the full Table-IV matrix, reusing sub-results from `cache` —
+/// every cell revisits a run some figure's sweep already performed.
+pub fn speedup_cells_cached(cache: &Cache) -> Vec<(String, Vec<Cell>)> {
     let mut rows = Vec::new();
 
     // LINPACK — measured at every column.
     rows.push(row("LINPACK", &NODE_COUNTS, |n| {
         let cte = arch::machines::cte_arm();
         let mn4 = arch::machines::marenostrum4();
-        let gc = hpl::simulate(&cte, &LinkModel::tofud(), n, &hpl::paper_config(&cte, n)).gflops;
-        let gm =
-            hpl::simulate(&mn4, &LinkModel::omnipath(), n, &hpl::paper_config(&mn4, n)).gflops;
+        let gc = hpl::simulate_cached(
+            cache,
+            &cte,
+            &LinkModel::tofud(),
+            n,
+            &hpl::paper_config(&cte, n),
+        )
+        .gflops;
+        let gm = hpl::simulate_cached(
+            cache,
+            &mn4,
+            &LinkModel::omnipath(),
+            n,
+            &hpl::paper_config(&mn4, n),
+        )
+        .gflops;
         Cell::Speedup(gc / gm)
     }));
 
     // HPCG — the paper ran 1 and 192 nodes.
     rows.push(row("HPCG", &[1, 192], |n| {
         let cfg = HpcgConfig::paper(HpcgVersion::Optimized);
-        let gc = hpcg::simulate(&arch::machines::cte_arm(), n, &cfg).gflops;
-        let gm = hpcg::simulate(&arch::machines::marenostrum4(), n, &cfg).gflops;
+        let gc = hpcg::simulate_cached(cache, &arch::machines::cte_arm(), n, &cfg).gflops;
+        let gm = hpcg::simulate_cached(cache, &arch::machines::marenostrum4(), n, &cfg).gflops;
         Cell::Speedup(gc / gm)
     }));
 
@@ -91,8 +111,10 @@ pub fn speedup_cells() -> Vec<(String, Vec<Cell>)> {
         if n < alya.min_nodes(Cluster::CteArm) {
             return Cell::NotPossible;
         }
-        let tc = alya.simulate(Cluster::CteArm, n).elapsed;
-        let tm = alya.simulate(Cluster::MareNostrum4, n).elapsed;
+        let tc = alya.simulate_cached(cache, Cluster::CteArm, n).elapsed;
+        let tm = alya
+            .simulate_cached(cache, Cluster::MareNostrum4, n)
+            .elapsed;
         Cell::Speedup(tm / tc)
     }));
 
@@ -101,32 +123,40 @@ pub fn speedup_cells() -> Vec<(String, Vec<Cell>)> {
     rows.push(row("OpenIFS", &[1, 16, 32, 64, 128], |n| {
         if n == 1 {
             let input = OpenIfs::tl255l91();
-            let tc = input.simulate(Cluster::CteArm, 1).elapsed;
-            let tm = input.simulate(Cluster::MareNostrum4, 1).elapsed;
+            let tc = input.simulate_cached(cache, Cluster::CteArm, 1).elapsed;
+            let tm = input
+                .simulate_cached(cache, Cluster::MareNostrum4, 1)
+                .elapsed;
             return Cell::Speedup(tm / tc);
         }
         let input = OpenIfs::tc0511l91();
         if n < input.min_nodes(Cluster::CteArm) {
             return Cell::NotPossible;
         }
-        let tc = input.simulate(Cluster::CteArm, n).elapsed;
-        let tm = input.simulate(Cluster::MareNostrum4, n).elapsed;
+        let tc = input.simulate_cached(cache, Cluster::CteArm, n).elapsed;
+        let tm = input
+            .simulate_cached(cache, Cluster::MareNostrum4, n)
+            .elapsed;
         Cell::Speedup(tm / tc)
     }));
 
     // Gromacs — measured at every column.
     let gromacs = Gromacs::lignocellulose_rf();
     rows.push(row("Gromacs", &NODE_COUNTS, |n| {
-        let tc = gromacs.simulate(Cluster::CteArm, n).elapsed;
-        let tm = gromacs.simulate(Cluster::MareNostrum4, n).elapsed;
+        let tc = gromacs.simulate_cached(cache, Cluster::CteArm, n).elapsed;
+        let tm = gromacs
+            .simulate_cached(cache, Cluster::MareNostrum4, n)
+            .elapsed;
         Cell::Speedup(tm / tc)
     }));
 
     // WRF — measured 1–64.
     let wrf = Wrf::iberia_4km();
     rows.push(row("WRF", &[1, 16, 32, 64], |n| {
-        let tc = wrf.simulate(Cluster::CteArm, n, true).elapsed;
-        let tm = wrf.simulate(Cluster::MareNostrum4, n, true).elapsed;
+        let tc = wrf.simulate_cached(cache, Cluster::CteArm, n, true).elapsed;
+        let tm = wrf
+            .simulate_cached(cache, Cluster::MareNostrum4, n, true)
+            .elapsed;
         Cell::Speedup(tm / tc)
     }));
 
@@ -136,16 +166,23 @@ pub fn speedup_cells() -> Vec<(String, Vec<Cell>)> {
         if n < nemo.min_nodes(Cluster::CteArm) {
             return Cell::NotPossible;
         }
-        let tc = nemo.simulate(Cluster::CteArm, n).elapsed;
-        let tm = nemo.simulate(Cluster::MareNostrum4, n).elapsed;
+        let tc = nemo.simulate_cached(cache, Cluster::CteArm, n).elapsed;
+        let tm = nemo
+            .simulate_cached(cache, Cluster::MareNostrum4, n)
+            .elapsed;
         Cell::Speedup(tm / tc)
     }));
 
     rows
 }
 
-/// Render Table IV.
+/// Render Table IV with a fresh cache.
 pub fn speedup_table() -> Table {
+    speedup_table_cached(&Cache::new())
+}
+
+/// Render Table IV, reusing sub-results from `cache`.
+pub fn speedup_table_cached(cache: &Cache) -> Table {
     let mut columns = vec!["Application".to_string()];
     columns.extend(NODE_COUNTS.iter().map(|n| n.to_string()));
     let mut table = Table::new(
@@ -153,7 +190,7 @@ pub fn speedup_table() -> Table {
         "Speedup of CTE-Arm relative to MareNostrum 4",
         columns,
     );
-    for (name, cells) in speedup_cells() {
+    for (name, cells) in speedup_cells_cached(cache) {
         let mut r = vec![name];
         r.extend(cells.iter().map(|c| c.render()));
         table.push_row(r);
@@ -178,7 +215,9 @@ mod tests {
         // checks sit on the cells the models target directly.
         let rows = speedup_cells();
         let close = |c: Cell, want: f64, tol: f64, what: &str| {
-            let got = c.value().unwrap_or_else(|| panic!("{what}: expected value"));
+            let got = c
+                .value()
+                .unwrap_or_else(|| panic!("{what}: expected value"));
             assert!((got - want).abs() < tol, "{what}: got {got}, paper {want}");
         };
         close(cell(&rows, "LINPACK", 1), 1.25, 0.12, "LINPACK@1");

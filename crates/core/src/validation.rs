@@ -8,8 +8,9 @@
 //! *is* the reproduction claim, runnable on demand
 //! (`cluster-eval run validation`).
 
-use crate::experiments::{run, Artifact};
-use crate::speedup::{speedup_cells, Cell, NODE_COUNTS};
+use crate::engine::Ctx;
+use crate::experiments::{run_in, Artifact};
+use crate::speedup::{speedup_cells_cached, Cell, NODE_COUNTS};
 use simkit::series::{Figure, Table};
 
 /// One paper-vs-model comparison.
@@ -43,8 +44,8 @@ impl Check {
     }
 }
 
-fn figure(id: &str) -> Figure {
-    match run(id).expect("registered experiment") {
+fn figure(ctx: &Ctx, id: &str) -> Figure {
+    match run_in(ctx, id).expect("registered experiment") {
         Artifact::Figure(f) => f,
         Artifact::Table(_) => panic!("{id} should be a figure"),
     }
@@ -59,6 +60,7 @@ fn y(fig: &Figure, series: &str, x: f64) -> f64 {
 
 /// Recompute every ledger entry.
 pub fn checks() -> Vec<Check> {
+    let ctx = Ctx::new();
     let mut out = Vec::new();
     let mut push = |artifact, quantity: &str, paper: f64, model: f64, tolerance: f64| {
         out.push(Check {
@@ -71,25 +73,73 @@ pub fn checks() -> Vec<Check> {
     };
 
     // Fig. 1 — sustained one-core rates.
-    let f1 = figure("fig1");
-    push("fig1", "SVE double GFlop/s (1 core)", 70.4, y(&f1, "CTE-Arm vector", 2.0), 1.0);
-    push("fig1", "SVE half GFlop/s (1 core)", 281.6, y(&f1, "CTE-Arm vector", 0.0), 3.0);
-    push("fig1", "AVX-512 double GFlop/s (1 core)", 67.2, y(&f1, "MareNostrum 4 vector", 2.0), 1.0);
+    let f1 = figure(&ctx, "fig1");
+    push(
+        "fig1",
+        "SVE double GFlop/s (1 core)",
+        70.4,
+        y(&f1, "CTE-Arm vector", 2.0),
+        1.0,
+    );
+    push(
+        "fig1",
+        "SVE half GFlop/s (1 core)",
+        281.6,
+        y(&f1, "CTE-Arm vector", 0.0),
+        3.0,
+    );
+    push(
+        "fig1",
+        "AVX-512 double GFlop/s (1 core)",
+        67.2,
+        y(&f1, "MareNostrum 4 vector", 2.0),
+        1.0,
+    );
 
     // Fig. 2 — STREAM OpenMP.
-    let f2 = figure("fig2");
+    let f2 = figure(&ctx, "fig2");
     let cte_c = f2.series_named("CTE-Arm (C)").expect("series");
-    push("fig2", "CTE-Arm OpenMP Triad peak GB/s", 292.0, cte_c.y_max().unwrap(), 8.0);
-    push("fig2", "CTE-Arm OpenMP peak thread count", 24.0, cte_c.argmax().unwrap(), 0.0);
-    push("fig2", "MN4 OpenMP Triad @48 threads GB/s", 201.2, y(&f2, "MareNostrum 4 (C)", 48.0), 6.0);
+    push(
+        "fig2",
+        "CTE-Arm OpenMP Triad peak GB/s",
+        292.0,
+        cte_c.y_max().unwrap(),
+        8.0,
+    );
+    push(
+        "fig2",
+        "CTE-Arm OpenMP peak thread count",
+        24.0,
+        cte_c.argmax().unwrap(),
+        0.0,
+    );
+    push(
+        "fig2",
+        "MN4 OpenMP Triad @48 threads GB/s",
+        201.2,
+        y(&f2, "MareNostrum 4 (C)", 48.0),
+        6.0,
+    );
 
     // Fig. 3 — STREAM hybrid.
-    let f3 = figure("fig3");
-    push("fig3", "CTE-Arm hybrid Fortran GB/s", 862.6, y(&f3, "CTE-Arm (Fortran)", 4.0), 4.0);
-    push("fig3", "CTE-Arm hybrid C GB/s", 421.1, y(&f3, "CTE-Arm (C)", 4.0), 4.0);
+    let f3 = figure(&ctx, "fig3");
+    push(
+        "fig3",
+        "CTE-Arm hybrid Fortran GB/s",
+        862.6,
+        y(&f3, "CTE-Arm (Fortran)", 4.0),
+        4.0,
+    );
+    push(
+        "fig3",
+        "CTE-Arm hybrid C GB/s",
+        421.1,
+        y(&f3, "CTE-Arm (C)", 4.0),
+        4.0,
+    );
 
     // Fig. 6 — HPL.
-    let f6 = figure("fig6");
+    let f6 = figure(&ctx, "fig6");
     push(
         "fig6",
         "CTE-Arm HPL efficiency @192 nodes",
@@ -106,7 +156,7 @@ pub fn checks() -> Vec<Check> {
     );
 
     // Fig. 7 — HPCG.
-    let f7 = figure("fig7");
+    let f7 = figure(&ctx, "fig7");
     push(
         "fig7",
         "CTE-Arm HPCG fraction @1 node",
@@ -124,15 +174,39 @@ pub fn checks() -> Vec<Check> {
 
     // Figs. 8–10 — Alya ratios at 12 nodes.
     let ratio_at = |fig: &Figure, x: f64| y(fig, "CTE-Arm", x) / y(fig, "MareNostrum 4", x);
-    push("fig8", "Alya total slowdown @12 nodes", 3.4, ratio_at(&figure("fig8"), 12.0), 0.45);
-    push("fig9", "Alya assembly slowdown @12 nodes", 4.96, ratio_at(&figure("fig9"), 12.0), 0.6);
-    push("fig10", "Alya solver slowdown @12 nodes", 1.79, ratio_at(&figure("fig10"), 12.0), 0.35);
+    push(
+        "fig8",
+        "Alya total slowdown @12 nodes",
+        3.4,
+        ratio_at(&figure(&ctx, "fig8"), 12.0),
+        0.45,
+    );
+    push(
+        "fig9",
+        "Alya assembly slowdown @12 nodes",
+        4.96,
+        ratio_at(&figure(&ctx, "fig9"), 12.0),
+        0.6,
+    );
+    push(
+        "fig10",
+        "Alya solver slowdown @12 nodes",
+        1.79,
+        ratio_at(&figure(&ctx, "fig10"), 12.0),
+        0.35,
+    );
 
     // Fig. 11 — NEMO.
-    push("fig11", "NEMO slowdown @16 nodes", 1.75, ratio_at(&figure("fig11"), 16.0), 0.2);
+    push(
+        "fig11",
+        "NEMO slowdown @16 nodes",
+        1.75,
+        ratio_at(&figure(&ctx, "fig11"), 16.0),
+        0.2,
+    );
 
     // Figs. 12–16 — remaining apps.
-    let f12 = figure("fig12");
+    let f12 = figure(&ctx, "fig12");
     push(
         "fig12",
         "Gromacs slowdown @48 cores",
@@ -140,7 +214,7 @@ pub fn checks() -> Vec<Check> {
         y(&f12, "CTE-Arm", 48.0) / y(&f12, "MareNostrum 4", 48.0),
         0.4,
     );
-    let f14 = figure("fig14");
+    let f14 = figure(&ctx, "fig14");
     push(
         "fig14",
         "OpenIFS slowdown @8 ranks",
@@ -148,8 +222,14 @@ pub fn checks() -> Vec<Check> {
         y(&f14, "CTE-Arm", 8.0) / y(&f14, "MareNostrum 4", 8.0),
         0.45,
     );
-    push("fig15", "OpenIFS slowdown @32 nodes", 3.55, ratio_at(&figure("fig15"), 32.0), 0.6);
-    let f16 = figure("fig16");
+    push(
+        "fig15",
+        "OpenIFS slowdown @32 nodes",
+        3.55,
+        ratio_at(&figure(&ctx, "fig15"), 32.0),
+        0.6,
+    );
+    let f16 = figure(&ctx, "fig16");
     push(
         "fig16",
         "WRF slowdown @1 node",
@@ -171,23 +251,44 @@ pub fn checks() -> Vec<Check> {
         ("WRF", 1, 0.49, 0.08),
         ("NEMO", 16, 0.56, 0.08),
     ];
-    let cells = speedup_cells();
+    let cells = speedup_cells_cached(&ctx.cache);
     for &(app, nodes, paper, tol) in paper_cells {
-        let col = NODE_COUNTS.iter().position(|&n| n == nodes).expect("column");
+        let col = NODE_COUNTS
+            .iter()
+            .position(|&n| n == nodes)
+            .expect("column");
         let cell = cells.iter().find(|(n, _)| n == app).expect("row").1[col];
         let model = match cell {
             Cell::Speedup(s) => s,
             _ => f64::NAN,
         };
-        push("table4", &format!("{app} speedup @{nodes} nodes"), paper, model, tol);
+        push(
+            "table4",
+            &format!("{app} speedup @{nodes} nodes"),
+            paper,
+            model,
+            tol,
+        );
     }
 
     // External validation: Fugaku.
-    if let Some(Artifact::Table(t)) = crate::extensions::run_extension("ext_fugaku") {
+    if let Some(Artifact::Table(t)) = crate::extensions::run_extension_in(&ctx, "ext_fugaku") {
         let model_hpl: f64 = t.cell(0, "Model").unwrap().parse().unwrap();
-        push("ext_fugaku", "Fugaku HPL PFlop/s (Top500 Nov-2020)", 442.0, model_hpl, 22.0);
+        push(
+            "ext_fugaku",
+            "Fugaku HPL PFlop/s (Top500 Nov-2020)",
+            442.0,
+            model_hpl,
+            22.0,
+        );
         let model_hpcg: f64 = t.cell(2, "Model").unwrap().parse().unwrap();
-        push("ext_fugaku", "Fugaku HPCG PFlop/s (HPCG Nov-2020)", 16.0, model_hpcg, 0.8);
+        push(
+            "ext_fugaku",
+            "Fugaku HPCG PFlop/s (HPCG Nov-2020)",
+            16.0,
+            model_hpcg,
+            0.8,
+        );
     }
 
     out
@@ -198,7 +299,15 @@ pub fn validation_report() -> Table {
     let mut t = Table::new(
         "validation",
         "Reproduction ledger: paper vs model, with acceptance tolerances",
-        vec!["Artifact", "Quantity", "Paper", "Model", "Tolerance", "Deviation", "Status"],
+        vec![
+            "Artifact",
+            "Quantity",
+            "Paper",
+            "Model",
+            "Tolerance",
+            "Deviation",
+            "Status",
+        ],
     );
     for c in checks() {
         t.push_row(vec![
@@ -221,7 +330,11 @@ mod tests {
     #[test]
     fn every_ledger_entry_passes() {
         let all = checks();
-        assert!(all.len() >= 30, "ledger covers the paper: {} checks", all.len());
+        assert!(
+            all.len() >= 30,
+            "ledger covers the paper: {} checks",
+            all.len()
+        );
         let failures: Vec<String> = all
             .iter()
             .filter(|c| !c.passes())

@@ -138,8 +138,9 @@ impl DistributedCg {
                     for k in 0..lz + 2 {
                         for j in 0..ly + 2 {
                             for i in 0..lx + 2 {
-                                let interior =
-                                    (1..=lx).contains(&i) && (1..=ly).contains(&j) && (1..=lz).contains(&k);
+                                let interior = (1..=lx).contains(&i)
+                                    && (1..=ly).contains(&j)
+                                    && (1..=lz).contains(&k);
                                 if interior {
                                     continue;
                                 }
@@ -201,7 +202,12 @@ impl DistributedCg {
 
     /// Run distributed (unpreconditioned) CG on `A·x = b` with the global
     /// HPCG operator. Returns `(x_global, iterations, relative_residual)`.
-    pub fn solve(&mut self, b_global: &[f64], max_iters: usize, tol: f64) -> (Vec<f64>, usize, f64) {
+    pub fn solve(
+        &mut self,
+        b_global: &[f64],
+        max_iters: usize,
+        tol: f64,
+    ) -> (Vec<f64>, usize, f64) {
         let n = self.global.0 * self.global.1 * self.global.2;
         assert_eq!(b_global.len(), n, "rhs dimension mismatch");
         let ranks = self.n_ranks();

@@ -150,14 +150,16 @@ pub const FLOPS_PER_POINT_ITER: f64 = 2.0 * 27.0 + 4.0 * 27.0 + 10.0;
 /// assert!((run.fraction_of_peak - 0.0291).abs() < 0.002);
 /// ```
 pub fn simulate(machine: &Machine, nodes: usize, cfg: &HpcgConfig) -> HpcgResult {
-    assert!(nodes >= 1 && nodes <= machine.nodes, "node count out of range");
+    assert!(
+        nodes >= 1 && nodes <= machine.nodes,
+        "node count out of range"
+    );
     assert!(
         cfg.ranks_per_node <= machine.cores_per_node(),
         "rank oversubscription"
     );
-    let node_gflops = effective_bandwidth(machine, cfg.version)
-        / bytes_per_flop(machine, cfg.version)
-        / 1e9;
+    let node_gflops =
+        effective_bandwidth(machine, cfg.version) / bytes_per_flop(machine, cfg.version) / 1e9;
     let gflops = node_gflops * nodes as f64 * scale_efficiency(machine, nodes);
     let peak = machine.peak_dp_cluster(nodes).as_gflops();
     // Rated run: 50 CG iterations over the global problem.
@@ -171,6 +173,23 @@ pub fn simulate(machine: &Machine, nodes: usize, cfg: &HpcgConfig) -> HpcgResult
         fraction_of_peak: gflops / peak,
         time: Time::seconds(total_flops / (gflops * 1e9)),
     }
+}
+
+/// [`simulate`] through a [`simkit::cache::Cache`]: Fig. 7 and Table IV
+/// run the same `(machine, nodes, config)` points, so whoever runs first
+/// pays and the rest reuse.
+pub fn simulate_cached(
+    cache: &simkit::cache::Cache,
+    machine: &Machine,
+    nodes: usize,
+    cfg: &HpcgConfig,
+) -> HpcgResult {
+    let key = simkit::cache::CacheKey::new(
+        machine.name.clone(),
+        "hpcg",
+        format!("nodes={nodes}|cfg={cfg:?}"),
+    );
+    cache.get_or(key, || simulate(machine, nodes, cfg))
 }
 
 /// Run the real preconditioned CG on a small grid and return
@@ -194,7 +213,10 @@ mod tests {
     fn real_cg_converges_on_small_grid() {
         let (iters, rel, gflops) = verify_small_grid(8, 8, 8);
         assert!(rel < 1e-8, "residual {rel}");
-        assert!(iters < 50, "SymGS-preconditioned CG converges fast: {iters}");
+        assert!(
+            iters < 50,
+            "SymGS-preconditioned CG converges fast: {iters}"
+        );
         assert!(gflops > 0.0);
     }
 

@@ -102,7 +102,10 @@ impl BlockCyclicLu {
 
     fn set(&mut self, i: usize, j: usize, v: f64) {
         let nb = self.nb;
-        let blk = self.blocks.get_mut(&(i / nb, j / nb)).expect("block exists");
+        let blk = self
+            .blocks
+            .get_mut(&(i / nb, j / nb))
+            .expect("block exists");
         blk[(i % nb, j % nb)] = v;
     }
 
@@ -199,7 +202,8 @@ impl BlockCyclicLu {
             // each owned block leave the owner) and the U-strip along
             // process columns after the triangular solve.
             let l_panel_blocks = (nblocks - kb) as u64;
-            self.comm.broadcast_bytes += l_panel_blocks * (nb * nb * 8) as u64 * (self.q as u64 - 1);
+            self.comm.broadcast_bytes +=
+                l_panel_blocks * (nb * nb * 8) as u64 * (self.q as u64 - 1);
             self.comm.messages += l_panel_blocks * (self.q as u64 - 1);
 
             // --- Triangular solve on the U strip: U(kb, j) ← L₁₁⁻¹·A(kb, j).
@@ -219,7 +223,8 @@ impl BlockCyclicLu {
                 }
             }
             let u_strip_blocks = (nblocks - kb - 1) as u64;
-            self.comm.broadcast_bytes += u_strip_blocks * (nb * nb * 8) as u64 * (self.p as u64 - 1);
+            self.comm.broadcast_bytes +=
+                u_strip_blocks * (nb * nb * 8) as u64 * (self.p as u64 - 1);
             self.comm.messages += u_strip_blocks * (self.p as u64 - 1);
 
             // --- Trailing update: A(i, j) ← A(i, j) − L(i, kb)·U(kb, j).
@@ -314,10 +319,7 @@ mod tests {
             assert!(dist.factor());
             let x = dist.gather_factors().solve(&b);
             for (d, s) in x.iter().zip(&serial) {
-                assert!(
-                    (d - s).abs() < 1e-9,
-                    "grid {p}×{q}: {d} vs {s}"
-                );
+                assert!((d - s).abs() < 1e-9, "grid {p}×{q}: {d} vs {s}");
             }
         }
     }

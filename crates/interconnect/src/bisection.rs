@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn torus_wrap_doubles_the_cut() {
         let mesh = TofuD::with_dims([4, 1, 1, 1, 1, 1], [false; 6]);
-        let torus = TofuD::with_dims([4, 1, 1, 1, 1, 1], [true, false, false, false, false, false]);
+        let torus = TofuD::with_dims(
+            [4, 1, 1, 1, 1, 1],
+            [true, false, false, false, false, false],
+        );
         assert_eq!(tofu_bisection_links(&mesh), 1);
         assert_eq!(tofu_bisection_links(&torus), 2);
     }
@@ -94,10 +97,7 @@ mod tests {
         // edges it out per node despite the slower links.
         let tofu = TofuD::cte_arm();
         let tree = FatTree::marenostrum4();
-        let cte = per_node(
-            tofu_bisection_bandwidth(&tofu, &LinkModel::tofud()),
-            192,
-        );
+        let cte = per_node(tofu_bisection_bandwidth(&tofu, &LinkModel::tofud()), 192);
         let mn4 = per_node(
             fattree_bisection_bandwidth(&tree, &LinkModel::omnipath()),
             3456,

@@ -93,7 +93,9 @@ mod tests {
         // 1.2 µs + 0.5 µs + 256/6.8e9 ≈ 1.74 µs.
         assert!((t.as_micros() - 1.7376).abs() < 0.01, "{t}");
         // Reported bandwidth far below link peak.
-        let bw = l.message_bandwidth(Bytes::new(256.0), 5, 1.0).as_gb_per_sec();
+        let bw = l
+            .message_bandwidth(Bytes::new(256.0), 5, 1.0)
+            .as_gb_per_sec();
         assert!(bw < 0.2, "bw {bw}");
     }
 

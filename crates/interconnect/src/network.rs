@@ -78,7 +78,10 @@ impl<T: Topology> Network<T> {
 
     /// Bandwidth derate for the (sender, receiver) pair from node health.
     fn health_factor(&self, from: NodeId, to: NodeId) -> f64 {
-        let tx = self.degraded.get(&from.index()).map_or(1.0, |d| d.tx_factor);
+        let tx = self
+            .degraded
+            .get(&from.index())
+            .map_or(1.0, |d| d.tx_factor);
         let rx = self.degraded.get(&to.index()).map_or(1.0, |d| d.rx_factor);
         tx * rx
     }

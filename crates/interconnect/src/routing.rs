@@ -63,7 +63,11 @@ pub fn route_links(topo: &TofuD, a: NodeId, b: NodeId) -> Vec<Link> {
             let cb = topo.coords(w[1]);
             let dim = (0..DIMS).find(|&d| ca[d] != cb[d]).expect("one hop");
             let extent = topo.dims[dim];
-            let dir = if (ca[dim] + 1) % extent == cb[dim] { 1 } else { -1 };
+            let dir = if (ca[dim] + 1) % extent == cb[dim] {
+                1
+            } else {
+                -1
+            };
             Link {
                 from: w[0],
                 dim,

@@ -22,8 +22,7 @@ pub fn build_hpcg_matrix(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0
@@ -219,7 +218,11 @@ mod tests {
         let a = build_hpcg_matrix(6, 6, 6);
         let b = vec![1.0; a.n];
         let res = cg_solve(&a, &b, 500, 1e-10, false);
-        assert!(res.relative_residual < 1e-10, "residual {}", res.relative_residual);
+        assert!(
+            res.relative_residual < 1e-10,
+            "residual {}",
+            res.relative_residual
+        );
         // Verify against a fresh SpMV.
         let mut ax = vec![0.0; a.n];
         a.spmv(&res.x, &mut ax);

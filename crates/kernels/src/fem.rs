@@ -249,7 +249,10 @@ mod tests {
         };
         let coarse = err(9);
         let fine = err(17);
-        assert!(fine < coarse, "refinement must reduce error: {coarse} -> {fine}");
+        assert!(
+            fine < coarse,
+            "refinement must reduce error: {coarse} -> {fine}"
+        );
     }
 
     #[test]

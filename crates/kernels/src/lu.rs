@@ -65,7 +65,13 @@ fn factor_panel(a: &mut DenseMatrix, k0: usize, w: usize, pivots: &mut [usize]) 
 }
 
 /// Apply the panel's row swaps to columns outside the panel.
-fn apply_pivots(a: &mut DenseMatrix, k0: usize, w: usize, pivots: &[usize], cols: std::ops::Range<usize>) {
+fn apply_pivots(
+    a: &mut DenseMatrix,
+    k0: usize,
+    w: usize,
+    pivots: &[usize],
+    cols: std::ops::Range<usize>,
+) {
     for k in k0..k0 + w {
         let piv = pivots[k];
         if piv != k {

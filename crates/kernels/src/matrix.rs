@@ -180,11 +180,7 @@ impl CsrMatrix {
     /// Diagonal entries (0 where a row has no diagonal).
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.n)
-            .map(|i| {
-                self.row(i)
-                    .find(|&(c, _)| c == i)
-                    .map_or(0.0, |(_, v)| v)
-            })
+            .map(|i| self.row(i).find(|&(c, _)| c == i).map_or(0.0, |(_, v)| v))
             .collect()
     }
 
@@ -251,10 +247,7 @@ mod tests {
 
     #[test]
     fn csr_from_triplets_sums_duplicates() {
-        let m = CsrMatrix::from_triplets(
-            3,
-            &[(0, 0, 1.0), (0, 0, 2.0), (1, 2, 4.0), (2, 1, 5.0)],
-        );
+        let m = CsrMatrix::from_triplets(3, &[(0, 0, 1.0), (0, 0, 2.0), (1, 2, 4.0), (2, 1, 5.0)]);
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0, 3.0)]);
         assert_eq!(m.row(1).collect::<Vec<_>>(), vec![(2, 4.0)]);

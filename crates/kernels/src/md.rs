@@ -194,8 +194,7 @@ impl LjSystem {
         for i in 0..n {
             for k in 0..3 {
                 self.vel[i][k] += 0.5 * dt * self.force[i][k];
-                self.pos[i][k] =
-                    (self.pos[i][k] + dt * self.vel[i][k]).rem_euclid(self.box_len);
+                self.pos[i][k] = (self.pos[i][k] + dt * self.vel[i][k]).rem_euclid(self.box_len);
             }
         }
         let (pe, flops) = self.compute_forces();

@@ -260,7 +260,11 @@ mod tests {
         // Fine level contributes 10·nnz of the total; coarser levels decay
         // by ~8× each, so the fine share is > 85 %.
         assert!(total > 10.0 * fine_nnz);
-        assert!(10.0 * fine_nnz / total > 0.85, "fine share {}", 10.0 * fine_nnz / total);
+        assert!(
+            10.0 * fine_nnz / total > 0.85,
+            "fine share {}",
+            10.0 * fine_nnz / total
+        );
     }
 
     #[test]

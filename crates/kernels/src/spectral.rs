@@ -232,8 +232,7 @@ mod tests {
         let time_energy: f64 = sig.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
         let mut freq = sig.clone();
         fft(&mut freq, false);
-        let freq_energy: f64 =
-            freq.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / 128.0;
+        let freq_energy: f64 = freq.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / 128.0;
         assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
     }
 
@@ -266,7 +265,11 @@ mod tests {
                     .map(|l| t.basis[l * 6 + m] * t.basis[l * 6 + n])
                     .sum::<f64>()
                     * w;
-                let expect = if m == n { 2.0 / (2.0 * m as f64 + 1.0) } else { 0.0 };
+                let expect = if m == n {
+                    2.0 / (2.0 * m as f64 + 1.0)
+                } else {
+                    0.0
+                };
                 assert!(
                     (dot - expect).abs() < 1e-3,
                     "⟨P{m},P{n}⟩ = {dot}, want {expect}"

@@ -39,7 +39,8 @@ impl OceanGrid {
         let sigma = nx.min(ny) as f64 / 8.0;
         for j in 0..ny {
             for i in 0..nx {
-                let d2 = ((i as f64 - cx).powi(2) + (j as f64 - cy).powi(2)) / (2.0 * sigma * sigma);
+                let d2 =
+                    ((i as f64 - cx).powi(2) + (j as f64 - cy).powi(2)) / (2.0 * sigma * sigma);
                 eta[j * nx + i] = (-d2).exp();
             }
         }
@@ -85,29 +86,23 @@ impl OceanGrid {
             });
         // Velocity update from pressure gradient.
         let eta = &self.eta;
-        self.u
-            .par_chunks_mut(nx)
-            .enumerate()
-            .for_each(|(j, row)| {
+        self.u.par_chunks_mut(nx).enumerate().for_each(|(j, row)| {
+            for i in 0..nx {
+                let im = (i + nx - 1) % nx;
+                row[i] -= c * G * (eta[j * nx + i] - eta[j * nx + im]);
+            }
+        });
+        self.v.par_chunks_mut(nx).enumerate().for_each(|(j, row)| {
+            if j == 0 {
+                for r in row.iter_mut() {
+                    *r = 0.0;
+                }
+            } else {
                 for i in 0..nx {
-                    let im = (i + nx - 1) % nx;
-                    row[i] -= c * G * (eta[j * nx + i] - eta[j * nx + im]);
+                    row[i] -= c * G * (eta[j * nx + i] - eta[(j - 1) * nx + i]);
                 }
-            });
-        self.v
-            .par_chunks_mut(nx)
-            .enumerate()
-            .for_each(|(j, row)| {
-                if j == 0 {
-                    for r in row.iter_mut() {
-                        *r = 0.0;
-                    }
-                } else {
-                    for i in 0..nx {
-                        row[i] -= c * G * (eta[j * nx + i] - eta[(j - 1) * nx + i]);
-                    }
-                }
-            });
+            }
+        });
         let _ = eta_old;
         let cells = (nx * ny) as u64;
         // ~10 flops and 7 f64 touches per cell across the three sweeps.
@@ -245,7 +240,10 @@ mod tests {
             g.step(0.0005, 1.0);
         }
         let e1 = g.energy();
-        assert!(e1.is_finite() && e1 < 10.0 * e0, "energy blew up: {e0} -> {e1}");
+        assert!(
+            e1.is_finite() && e1 < 10.0 * e0,
+            "energy blew up: {e0} -> {e1}"
+        );
     }
 
     #[test]
@@ -281,7 +279,10 @@ mod tests {
             let m = g.mean();
             g.theta.iter().map(|&t| (t - m).powi(2)).sum()
         };
-        assert!(spread1 < spread0 / 2.0, "diffusion must flatten: {spread0} -> {spread1}");
+        assert!(
+            spread1 < spread0 / 2.0,
+            "diffusion must flatten: {spread0} -> {spread1}"
+        );
     }
 
     #[test]
@@ -302,11 +303,7 @@ mod tests {
             g.step(1.0, 0.0, 0.0);
         }
         let after = peak_i(&g);
-        assert_eq!(
-            (before + 8) % g.nx,
-            after,
-            "peak must advect 8 cells east"
-        );
+        assert_eq!((before + 8) % g.nx, after, "peak must advect 8 cells east");
     }
 
     #[test]

@@ -144,7 +144,11 @@ mod tests {
     fn sve_dp_beats_avx_dp_slightly() {
         // 70.4 vs 67.2 GFlop/s: the CTE-Arm bar is ~5 % taller.
         let fig = figure1(&cte_arm(), &marenostrum4());
-        let cte = fig.series_named("CTE-Arm vector").unwrap().y_at(2.0).unwrap();
+        let cte = fig
+            .series_named("CTE-Arm vector")
+            .unwrap()
+            .y_at(2.0)
+            .unwrap();
         let mn4 = fig
             .series_named("MareNostrum 4 vector")
             .unwrap()

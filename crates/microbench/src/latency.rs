@@ -71,7 +71,10 @@ pub fn latency_figure() -> Figure {
         "one-way latency [µs]",
     );
     let cases: Vec<(&str, Vec<LatencyPoint>)> = vec![
-        ("TofuD (1 hop)", latency_sweep(&tofu, NodeId(0), NodeId(1), 1 << 20)),
+        (
+            "TofuD (1 hop)",
+            latency_sweep(&tofu, NodeId(0), NodeId(1), 1 << 20),
+        ),
         (
             "TofuD (far pair)",
             latency_sweep(&tofu, NodeId(0), NodeId(100), 1 << 20),
@@ -111,7 +114,11 @@ mod tests {
         let net = tofu_net();
         let sweep = latency_sweep(&net, NodeId(0), NodeId(1), 8);
         // ~1.2 µs software + 1 hop.
-        assert!((sweep[0].latency_us - 1.3).abs() < 0.2, "{}", sweep[0].latency_us);
+        assert!(
+            (sweep[0].latency_us - 1.3).abs() < 0.2,
+            "{}",
+            sweep[0].latency_us
+        );
     }
 
     #[test]
@@ -148,8 +155,12 @@ mod tests {
     fn omnipath_has_lower_zero_byte_latency_but_tofu_wins_on_hops() {
         let tofu = tofu_net();
         let opa = Network::new(FatTree::marenostrum4(), LinkModel::omnipath());
-        let t0 = tofu.message_time(NodeId(0), NodeId(1), Bytes::ZERO).as_micros();
-        let o0 = opa.message_time(NodeId(0), NodeId(1), Bytes::ZERO).as_micros();
+        let t0 = tofu
+            .message_time(NodeId(0), NodeId(1), Bytes::ZERO)
+            .as_micros();
+        let o0 = opa
+            .message_time(NodeId(0), NodeId(1), Bytes::ZERO)
+            .as_micros();
         assert!(o0 < t0, "OmniPath software stack is leaner: {o0} vs {t0}");
     }
 

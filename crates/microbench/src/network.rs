@@ -4,6 +4,7 @@ use interconnect::link::LinkModel;
 use interconnect::network::{Degradation, Network};
 use interconnect::tofu::TofuD;
 use interconnect::topology::{NodeId, Topology};
+use simkit::cache::{Cache, CacheKey};
 use simkit::rng::Pcg32;
 use simkit::stats::Histogram;
 use simkit::units::Bytes;
@@ -20,8 +21,10 @@ pub const DEGRADED_RX_FACTOR: f64 = 0.08;
 /// Build the CTE-Arm network as measured: TofuD with the one faulty
 /// receiver.
 pub fn cte_network() -> Network<TofuD> {
-    Network::new(TofuD::cte_arm(), LinkModel::tofud())
-        .with_degraded_node(DEGRADED_NODE, Degradation::receive_fault(DEGRADED_RX_FACTOR))
+    Network::new(TofuD::cte_arm(), LinkModel::tofud()).with_degraded_node(
+        DEGRADED_NODE,
+        Degradation::receive_fault(DEGRADED_RX_FACTOR),
+    )
 }
 
 /// Fig. 4 — the 192×192 node-pair bandwidth map at 256 B messages.
@@ -30,6 +33,13 @@ pub fn figure4(seed: u64) -> Vec<Vec<f64>> {
     let net = cte_network();
     let mut rng = Pcg32::seeded(seed);
     net.pairwise_bandwidth_map(Bytes::new(256.0), &mut rng)
+}
+
+/// [`figure4`] through a [`Cache`]: the 192×192 map is the most expensive
+/// microbenchmark sweep, and extension experiments revisit it.
+pub fn figure4_cached(cache: &Cache, seed: u64) -> Vec<Vec<f64>> {
+    let key = CacheKey::new("CTE-Arm", "osu-map", format!("seed={seed}|msg=256B"));
+    cache.get_or(key, || figure4(seed))
 }
 
 /// Summary statistics extracted from a Fig.-4 map.
@@ -73,7 +83,7 @@ pub fn figure5_sizes() -> Vec<usize> {
 }
 
 /// One row of Fig. 5: the distribution of pair bandwidths at one size.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BandwidthDistribution {
     /// Message size in bytes.
     pub size: usize,
@@ -110,8 +120,7 @@ pub fn figure5(seed: u64, pairs_per_size: usize) -> Vec<BandwidthDistribution> {
                 histogram.record(v);
             }
             let mean = values.iter().sum::<f64>() / values.len() as f64;
-            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / values.len() as f64;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
             BandwidthDistribution {
                 size,
                 histogram,
@@ -119,6 +128,22 @@ pub fn figure5(seed: u64, pairs_per_size: usize) -> Vec<BandwidthDistribution> {
             }
         })
         .collect()
+}
+
+/// [`figure5`] through a [`Cache`]. The whole sweep is cached as one value:
+/// its sampled pairs come from a single rng stream, so splitting it per
+/// size would change the numbers.
+pub fn figure5_cached(
+    cache: &Cache,
+    seed: u64,
+    pairs_per_size: usize,
+) -> Vec<BandwidthDistribution> {
+    let key = CacheKey::new(
+        "CTE-Arm",
+        "osu-dist",
+        format!("seed={seed}|pairs={pairs_per_size}"),
+    );
+    cache.get_or(key, || figure5(seed, pairs_per_size))
 }
 
 #[cfg(test)]
@@ -205,11 +230,7 @@ mod tests {
     fn large_messages_show_high_variability() {
         let dists = figure5(7, 800);
         let small_cv = dists.iter().find(|d| d.size == 4096).unwrap().cv;
-        let large_cv = dists
-            .iter()
-            .find(|d| d.size == 4 * 1024 * 1024)
-            .unwrap()
-            .cv;
+        let large_cv = dists.iter().find(|d| d.size == 4 * 1024 * 1024).unwrap().cv;
         assert!(
             large_cv > 1.5 * small_cv,
             "variability must grow: {small_cv} -> {large_cv}"

@@ -149,10 +149,7 @@ mod tests {
     #[test]
     fn fig3_cte_fortran_hits_862() {
         let sweep = hybrid_sweep(&cte_arm(), Language::Fortran);
-        let best = sweep
-            .iter()
-            .map(|p| p.gb_per_sec)
-            .fold(0.0f64, f64::max);
+        let best = sweep.iter().map(|p| p.gb_per_sec).fold(0.0f64, f64::max);
         assert!((best - 862.6).abs() < 3.0, "best {best}");
         // Best configuration is 4 ranks × 12 threads.
         let best_point = sweep

@@ -46,7 +46,10 @@ pub fn stream_across_runs(machine: &Machine, runs: usize, seed: u64) -> OnlineSt
     let mut rng = Pcg32::seeded(seed);
     let best = machine
         .memory
-        .stream_openmp(24.min(machine.cores_per_node()), arch::compiler::Language::C)
+        .stream_openmp(
+            24.min(machine.cores_per_node()),
+            arch::compiler::Language::C,
+        )
         .as_gb_per_sec();
     let mut stats = OnlineStats::new();
     for _ in 0..runs {
@@ -95,11 +98,7 @@ mod tests {
         let m = cte_arm();
         let compute_cv = fpu_across_cluster(&m, 4).cv();
         let dists = crate::network::figure5(4, 400);
-        let net_cv = dists
-            .iter()
-            .find(|d| d.size == 4 * 1024 * 1024)
-            .unwrap()
-            .cv;
+        let net_cv = dists.iter().find(|d| d.size == 4 * 1024 * 1024).unwrap().cv;
         assert!(net_cv > 20.0 * compute_cv, "{net_cv} vs {compute_cv}");
     }
 }

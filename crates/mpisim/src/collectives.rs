@@ -76,7 +76,12 @@ pub fn reduce(p: usize, bytes: Bytes, algo: CollectiveAlgo, ptp: impl Fn(Bytes) 
 }
 
 /// Allreduce of `bytes` across `p` participants.
-pub fn allreduce(p: usize, bytes: Bytes, algo: CollectiveAlgo, ptp: impl Fn(Bytes) -> Time) -> Time {
+pub fn allreduce(
+    p: usize,
+    bytes: Bytes,
+    algo: CollectiveAlgo,
+    ptp: impl Fn(Bytes) -> Time,
+) -> Time {
     if p <= 1 {
         return Time::ZERO;
     }
@@ -89,7 +94,12 @@ pub fn allreduce(p: usize, bytes: Bytes, algo: CollectiveAlgo, ptp: impl Fn(Byte
 }
 
 /// Allgather where each participant contributes `bytes`.
-pub fn allgather(p: usize, bytes: Bytes, algo: CollectiveAlgo, ptp: impl Fn(Bytes) -> Time) -> Time {
+pub fn allgather(
+    p: usize,
+    bytes: Bytes,
+    algo: CollectiveAlgo,
+    ptp: impl Fn(Bytes) -> Time,
+) -> Time {
     if p <= 1 {
         return Time::ZERO;
     }
@@ -179,9 +189,18 @@ mod tests {
     #[test]
     fn singleton_collectives_are_free() {
         let ptp = linear_ptp(1.0, 6.8);
-        assert_eq!(bcast(1, Bytes::kib(4.0), CollectiveAlgo::Auto, &ptp), Time::ZERO);
-        assert_eq!(allreduce(1, Bytes::kib(4.0), CollectiveAlgo::Auto, &ptp), Time::ZERO);
-        assert_eq!(allgather(1, Bytes::kib(4.0), CollectiveAlgo::Auto, &ptp), Time::ZERO);
+        assert_eq!(
+            bcast(1, Bytes::kib(4.0), CollectiveAlgo::Auto, &ptp),
+            Time::ZERO
+        );
+        assert_eq!(
+            allreduce(1, Bytes::kib(4.0), CollectiveAlgo::Auto, &ptp),
+            Time::ZERO
+        );
+        assert_eq!(
+            allgather(1, Bytes::kib(4.0), CollectiveAlgo::Auto, &ptp),
+            Time::ZERO
+        );
         assert_eq!(alltoall(1, Bytes::kib(4.0), &ptp), Time::ZERO);
     }
 
@@ -244,7 +263,12 @@ mod tests {
         let p = 12;
         let n = Bytes::kib(512.0);
         let composed = reduce_scatter(p, n, &ptp)
-            + allgather(p, Bytes::new(n.value() / p as f64), CollectiveAlgo::Ring, &ptp);
+            + allgather(
+                p,
+                Bytes::new(n.value() / p as f64),
+                CollectiveAlgo::Ring,
+                &ptp,
+            );
         let direct = allreduce(p, n, CollectiveAlgo::Ring, &ptp);
         assert!((composed.value() - direct.value()).abs() < 1e-12);
     }

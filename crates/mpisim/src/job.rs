@@ -169,7 +169,8 @@ impl<'a, T: Topology> Job<'a, T> {
 
     /// Representative point-to-point time across the allocation (worst pair).
     fn inter_node_ptp(&self, bytes: Bytes) -> Time {
-        self.network.message_time(self.far_pair.0, self.far_pair.1, bytes)
+        self.network
+            .message_time(self.far_pair.0, self.far_pair.1, bytes)
     }
 
     /// Intra-node (shared-memory) point-to-point time.
@@ -403,7 +404,10 @@ impl<'a, T: Topology> Job<'a, T> {
     /// Paired MPI_Sendrecv between two ranks: both clocks meet, then pay the
     /// transfer.
     pub fn sendrecv(&mut self, a: usize, b: usize, bytes: Bytes) {
-        assert!(a < self.n_ranks() && b < self.n_ranks(), "rank out of range");
+        assert!(
+            a < self.n_ranks() && b < self.n_ranks(),
+            "rank out of range"
+        );
         let start = self.clocks[a].now().max(self.clocks[b].now());
         let t = if self.layout.same_node(a, b) {
             self.intra_node_ptp(bytes)
@@ -558,7 +562,10 @@ mod tests {
         let mut job = Job::new(&m, &c, &net, layout(&m, 2, 48, 1), 1).with_imbalance(0.1);
         job.compute(&KernelProfile::dp("work", 1e9, 1e8));
         let times = job.rank_times();
-        let min = times.iter().map(|t| t.value()).fold(f64::INFINITY, f64::min);
+        let min = times
+            .iter()
+            .map(|t| t.value())
+            .fold(f64::INFINITY, f64::min);
         let max = times.iter().map(|t| t.value()).fold(0.0, f64::max);
         assert!(max > min * 1.02, "imbalance should spread clocks");
         // Zero imbalance: identical clocks.
@@ -634,7 +641,10 @@ mod tests {
         one.neighbor_exchange(|r| vec![((r + 1) % n, Bytes::kib(32.0))]);
         let t_one = one.elapsed();
         assert!(t_two.value() < t_one.value() * 2.0, "messages overlap");
-        assert!(t_two > t_one, "extra message still costs injection overhead");
+        assert!(
+            t_two > t_one,
+            "extra message still costs injection overhead"
+        );
     }
 
     #[test]
@@ -760,8 +770,7 @@ mod tests {
     fn extra_collectives_advance_clocks() {
         let (m, c, net) = cte_job(4, 48, 1);
         for op in ["gather", "reduce_scatter", "scan"] {
-            let mut job =
-                Job::new(&m, &c, &net, layout(&m, 4, 48, 1), 1).with_imbalance(0.0);
+            let mut job = Job::new(&m, &c, &net, layout(&m, 4, 48, 1), 1).with_imbalance(0.0);
             match op {
                 "gather" => job.gather(Bytes::kib(4.0)),
                 "reduce_scatter" => job.reduce_scatter(Bytes::kib(4.0)),

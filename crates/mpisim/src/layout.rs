@@ -36,7 +36,10 @@ impl JobLayout {
         cores_per_node: usize,
     ) -> Self {
         assert!(!nodes.is_empty(), "a job needs at least one node");
-        assert!(ranks_per_node >= 1 && threads_per_rank >= 1, "zero ranks or threads");
+        assert!(
+            ranks_per_node >= 1 && threads_per_rank >= 1,
+            "zero ranks or threads"
+        );
         assert!(
             ranks_per_node * threads_per_rank <= cores_per_node,
             "oversubscribed node: {ranks_per_node} ranks × {threads_per_rank} threads > {cores_per_node} cores"

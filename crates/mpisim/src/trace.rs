@@ -70,14 +70,7 @@ impl Trace {
     }
 
     /// Record one interval.
-    pub fn record(
-        &mut self,
-        rank: usize,
-        activity: Activity,
-        start: Time,
-        end: Time,
-        label: &str,
-    ) {
+    pub fn record(&mut self, rank: usize, activity: Activity, start: Time, end: Time, label: &str) {
         debug_assert!(end >= start, "negative interval");
         self.events.push(TraceEvent {
             rank,
@@ -139,7 +132,10 @@ impl Trace {
             r.dedup();
             r.into_iter().take(max_ranks).collect()
         };
-        let _ = writeln!(out, "time →  0 .. {span:.3} s   (C compute, A collective, p p2p, W io)");
+        let _ = writeln!(
+            out,
+            "time →  0 .. {span:.3} s   (C compute, A collective, p p2p, W io)"
+        );
         for rank in ranks {
             let mut cells = vec![('.', 0.0f64); width];
             for e in self.events.iter().filter(|e| e.rank == rank) {

@@ -117,8 +117,7 @@ impl<T: Topology> Scheduler<T> {
                 Event::Submit(idx) => queue.push(idx),
                 Event::Finish(idx) => {
                     let alloc = std::mem::take(&mut self.jobs[idx].allocation);
-                    busy_node_time +=
-                        alloc.len() as f64 * self.jobs[idx].request.duration.value();
+                    busy_node_time += alloc.len() as f64 * self.jobs[idx].request.duration.value();
                     self.allocator.release(&alloc);
                     self.jobs[idx].allocation = alloc;
                     self.jobs[idx].end = Some(now);
@@ -159,8 +158,7 @@ impl<T: Topology> Scheduler<T> {
                 .sum::<f64>()
                 / n,
         );
-        let mean_compactness =
-            self.jobs.iter().map(|j| j.compactness).sum::<f64>() / n;
+        let mean_compactness = self.jobs.iter().map(|j| j.compactness).sum::<f64>() / n;
         let utilization = if makespan > Time::ZERO {
             busy_node_time / (cluster as f64 * makespan.value())
         } else {
@@ -199,8 +197,8 @@ mod tests {
 
     #[test]
     fn single_job_runs_immediately() {
-        let (jobs, stats) = scheduler(AllocationPolicy::BestFitContiguous, false)
-            .run(vec![job(0, 48, 100.0, 0.0)]);
+        let (jobs, stats) =
+            scheduler(AllocationPolicy::BestFitContiguous, false).run(vec![job(0, 48, 100.0, 0.0)]);
         assert_eq!(jobs[0].start, Some(Time::ZERO));
         assert_eq!(jobs[0].end, Some(Time::seconds(100.0)));
         assert_eq!(stats.makespan, Time::seconds(100.0));
@@ -209,10 +207,8 @@ mod tests {
 
     #[test]
     fn fcfs_queues_when_full() {
-        let (jobs, _) = scheduler(AllocationPolicy::FirstFit, false).run(vec![
-            job(0, 192, 10.0, 0.0),
-            job(1, 10, 5.0, 1.0),
-        ]);
+        let (jobs, _) = scheduler(AllocationPolicy::FirstFit, false)
+            .run(vec![job(0, 192, 10.0, 0.0), job(1, 10, 5.0, 1.0)]);
         // Job 1 must wait for the full-machine job.
         assert_eq!(jobs[1].start, Some(Time::seconds(10.0)));
         assert_eq!(jobs[1].wait(), Some(Time::seconds(9.0)));
@@ -262,8 +258,7 @@ mod tests {
         let workload: Vec<JobRequest> = (0..40)
             .map(|i| job(i, 12 + (i % 5) * 8, 5.0 + (i % 7) as f64, i as f64 * 1.3))
             .collect();
-        let (_, aware) =
-            scheduler(AllocationPolicy::BestFitContiguous, true).run(workload.clone());
+        let (_, aware) = scheduler(AllocationPolicy::BestFitContiguous, true).run(workload.clone());
         let (_, random) = scheduler(AllocationPolicy::Random, true).run(workload);
         assert!(
             aware.mean_compactness < random.mean_compactness,

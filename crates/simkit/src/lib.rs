@@ -12,12 +12,15 @@
 //! * [`stats`] — online statistics (Welford), histograms, percentiles.
 //! * [`series`] — labelled data series and text/CSV table rendering used to
 //!   regenerate the paper's figures and tables.
+//! * [`cache`] — concurrency-safe memoization of expensive simulation
+//!   sub-results, keyed by `(machine, workload, params)`.
 //!
 //! Everything in this crate is pure and deterministic: simulating the same
 //! experiment twice yields bit-identical results.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod event;
 pub mod rng;
 pub mod series;
@@ -25,6 +28,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use cache::{Cache, CacheKey};
 pub use event::{EventQueue, Scheduler};
 pub use rng::Pcg32;
 pub use series::{Figure, Series, Table};

@@ -327,7 +327,9 @@ mod tests {
         let mut b = Series::new("b");
         b.push(2.0, 20.0);
         b.push(3.0, 30.0);
-        let fig = Figure::new("f", "t", "x", "y").with_series(a).with_series(b);
+        let fig = Figure::new("f", "t", "x", "y")
+            .with_series(a)
+            .with_series(b);
         let csv = fig.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "x,a,b");

@@ -251,7 +251,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     assert!(sxx > 0.0, "x values are constant");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (slope, intercept, r2)
 }
 

@@ -53,10 +53,7 @@ impl VirtualClock {
 /// Align a set of clocks at a synchronisation point: every clock jumps to the
 /// latest time among them. Returns that time.
 pub fn synchronize(clocks: &mut [VirtualClock]) -> Time {
-    let latest = clocks
-        .iter()
-        .map(|c| c.now())
-        .fold(Time::ZERO, Time::max);
+    let latest = clocks.iter().map(|c| c.now()).fold(Time::ZERO, Time::max);
     for c in clocks.iter_mut() {
         c.advance_to(latest);
     }

@@ -384,8 +384,14 @@ mod tests {
         let total: Time = [Time::seconds(1.0), Time::seconds(2.0)].into_iter().sum();
         assert_eq!(total, Time::seconds(3.0));
         assert!(Time::seconds(1.0) < Time::seconds(2.0));
-        assert_eq!(Time::seconds(1.0).max(Time::seconds(2.0)), Time::seconds(2.0));
-        assert_eq!(Time::seconds(1.0).min(Time::seconds(2.0)), Time::seconds(1.0));
+        assert_eq!(
+            Time::seconds(1.0).max(Time::seconds(2.0)),
+            Time::seconds(2.0)
+        );
+        assert_eq!(
+            Time::seconds(1.0).min(Time::seconds(2.0)),
+            Time::seconds(1.0)
+        );
     }
 
     #[test]

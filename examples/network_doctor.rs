@@ -88,6 +88,9 @@ fn main() {
     }
     by_hops.sort_by_key(|&(h, ..)| h);
     for (h, sum, count) in by_hops {
-        println!("  {h} hops: {:.3} GB/s over {count} pairs", sum / count as f64);
+        println!(
+            "  {h} hops: {:.3} GB/s over {count} pairs",
+            sum / count as f64
+        );
     }
 }

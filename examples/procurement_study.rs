@@ -112,8 +112,8 @@ fn mature_toolchain_ratio() -> f64 {
         elements_per_rank * 500.0,
     )
     .with_vectorizable(0.97);
-    let solver = KernelProfile::dp("solver", elements_per_rank * 151.0 * 50.0, 0.0)
-        .with_vectorizable(0.30);
+    let solver =
+        KernelProfile::dp("solver", elements_per_rank * 151.0 * 50.0, 0.0).with_vectorizable(0.30);
     let stream = KernelProfile::dp("stream", 0.0, elements_per_rank * 64.0 * 50.0);
 
     let time = |machine: &arch::machines::Machine, compiler: &Compiler| {

@@ -23,9 +23,9 @@ fn workload(seed: u64) -> Vec<JobRequest> {
     (0..120)
         .map(|id| {
             let nodes = match rng.next_below(10) {
-                0 => 96 + rng.next_below(96) as usize,  // hero runs
+                0 => 96 + rng.next_below(96) as usize,     // hero runs
                 1..=3 => 24 + rng.next_below(40) as usize, // mid-size
-                _ => 1 + rng.next_below(12) as usize,   // small
+                _ => 1 + rng.next_below(12) as usize,      // small
             };
             JobRequest {
                 id,
@@ -44,8 +44,16 @@ fn main() {
         "policy", "makespan[h]", "wait[min]", "hops", "utilization"
     );
     for (name, policy, backfill) in [
-        ("topology-aware + backfill", AllocationPolicy::BestFitContiguous, true),
-        ("topology-aware, strict FCFS", AllocationPolicy::BestFitContiguous, false),
+        (
+            "topology-aware + backfill",
+            AllocationPolicy::BestFitContiguous,
+            true,
+        ),
+        (
+            "topology-aware, strict FCFS",
+            AllocationPolicy::BestFitContiguous,
+            false,
+        ),
         ("first-fit + backfill", AllocationPolicy::FirstFit, true),
         ("random + backfill", AllocationPolicy::Random, true),
     ] {

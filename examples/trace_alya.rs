@@ -38,10 +38,14 @@ fn main() {
 
     // One Alya-like time step (profiles as in apps::alya, 16 nodes).
     let per_rank_elems = 132e6 / (nodes * 48) as f64;
-    let assembly = KernelProfile::dp("assembly", per_rank_elems * 25_000.0, per_rank_elems * 500.0)
-        .with_vectorizable(0.97);
-    let solver_idx = KernelProfile::dp("solver-indexed", per_rank_elems * 151.0, 0.0)
-        .with_vectorizable(0.30);
+    let assembly = KernelProfile::dp(
+        "assembly",
+        per_rank_elems * 25_000.0,
+        per_rank_elems * 500.0,
+    )
+    .with_vectorizable(0.97);
+    let solver_idx =
+        KernelProfile::dp("solver-indexed", per_rank_elems * 151.0, 0.0).with_vectorizable(0.30);
     let solver_stream = KernelProfile::dp("solver-stream", 0.0, per_rank_elems * 64.0);
 
     job.compute(&assembly);
@@ -54,15 +58,14 @@ fn main() {
     }
 
     let trace = job.trace().expect("tracing enabled");
-    println!("Alya-like time step on 16 × CTE-Arm — {} traced events\n", trace.events.len());
+    println!(
+        "Alya-like time step on 16 × CTE-Arm — {} traced events\n",
+        trace.events.len()
+    );
     println!("{}", trace.gantt(12, 100));
 
     println!("time breakdown (all ranks):");
-    let total: f64 = trace
-        .breakdown()
-        .iter()
-        .map(|(_, t)| t.value())
-        .sum();
+    let total: f64 = trace.breakdown().iter().map(|(_, t)| t.value()).sum();
     for (activity, t) in trace.breakdown() {
         println!(
             "  {:13} {:8.3} rank-seconds  ({:4.1} %)",
@@ -74,7 +77,10 @@ fn main() {
 
     // POP-style metrics.
     let compute = trace.fraction(Activity::Compute);
-    println!("\nparallel efficiency (compute / total): {:.1} %", compute * 100.0);
+    println!(
+        "\nparallel efficiency (compute / total): {:.1} %",
+        compute * 100.0
+    );
     println!(
         "communication share: {:.1} %  (collectives {:.1} %, p2p {:.1} %)",
         100.0 * (1.0 - compute),

@@ -36,7 +36,10 @@ fn main() {
     let baseline_cte = app_chunk_time(&cte, &gnu);
     let baseline_mn4 = app_chunk_time(&mn4, &intel);
     println!("untuned application chunk (1 node, 48 cores):");
-    println!("  CTE-Arm (GNU):        {baseline_cte:.2} s   [{:.2}× MN4]", baseline_cte / baseline_mn4);
+    println!(
+        "  CTE-Arm (GNU):        {baseline_cte:.2} s   [{:.2}× MN4]",
+        baseline_cte / baseline_mn4
+    );
     println!("  MareNostrum 4 (Intel): {baseline_mn4:.2} s\n");
 
     // 1. Skylake-class out-of-order strength on the A64FX.

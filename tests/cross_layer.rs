@@ -2,8 +2,8 @@
 //! distributed executions must tell the same story about communication
 //! volume and scaling shape.
 
-use hpl::distributed::BlockCyclicLu;
 use hpcg::distributed::DistributedCg;
+use hpl::distributed::BlockCyclicLu;
 use kernels::matrix::DenseMatrix;
 use simkit::rng::Pcg32;
 use simkit::stats::scaling_exponent;

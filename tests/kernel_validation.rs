@@ -98,7 +98,10 @@ fn fft_agrees_with_dft_on_many_lengths() {
         fft(&mut got, false);
         let want = dft_reference(&sig, false);
         for (g, w) in got.iter().zip(&want) {
-            assert!((g.0 - w.0).abs() < 1e-7 && (g.1 - w.1).abs() < 1e-7, "n={n}");
+            assert!(
+                (g.0 - w.0).abs() < 1e-7 && (g.1 - w.1).abs() < 1e-7,
+                "n={n}"
+            );
         }
     }
 }

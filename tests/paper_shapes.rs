@@ -22,11 +22,20 @@ fn fig1_sustained_matches_theoretical_peaks() {
     // "the measurements match almost perfectly with the theoretical values"
     let f = figure("fig1");
     let cte_vec = f.series_named("CTE-Arm vector").unwrap();
-    assert!((cte_vec.y_at(2.0).unwrap() - 70.4).abs() < 1.0, "SVE double");
-    assert!((cte_vec.y_at(1.0).unwrap() - 140.8).abs() < 1.5, "SVE single");
+    assert!(
+        (cte_vec.y_at(2.0).unwrap() - 70.4).abs() < 1.0,
+        "SVE double"
+    );
+    assert!(
+        (cte_vec.y_at(1.0).unwrap() - 140.8).abs() < 1.5,
+        "SVE single"
+    );
     assert!((cte_vec.y_at(0.0).unwrap() - 281.6).abs() < 3.0, "SVE half");
     let mn4_vec = f.series_named("MareNostrum 4 vector").unwrap();
-    assert!((mn4_vec.y_at(2.0).unwrap() - 67.2).abs() < 1.0, "AVX-512 double");
+    assert!(
+        (mn4_vec.y_at(2.0).unwrap() - 67.2).abs() < 1.0,
+        "AVX-512 double"
+    );
     assert!(mn4_vec.y_at(0.0).is_none(), "no FP16 arithmetic on Skylake");
 }
 
@@ -62,7 +71,11 @@ fn fig6_linpack_efficiencies() {
     // CTE-Arm 85 % of peak at 192 nodes vs MN4 63 %.
     let f = figure("fig6");
     let cte = f.series_named("CTE-Arm").unwrap().y_at(192.0).unwrap();
-    let mn4 = f.series_named("MareNostrum 4").unwrap().y_at(192.0).unwrap();
+    let mn4 = f
+        .series_named("MareNostrum 4")
+        .unwrap()
+        .y_at(192.0)
+        .unwrap();
     let cte_eff = cte / (192.0 * 3379.2);
     let mn4_eff = mn4 / (192.0 * 3225.6);
     assert!((cte_eff - 0.85).abs() < 0.02, "CTE efficiency {cte_eff}");
@@ -149,8 +162,9 @@ fn wrf_io_series_nearly_coincide() {
 
 #[test]
 fn every_experiment_produces_nonempty_output() {
+    let ctx = cluster_eval::Ctx::new();
     for exp in cluster_eval::all_experiments() {
-        let artifact = (exp.run)();
+        let artifact = (exp.run)(&ctx);
         let text = artifact.to_text();
         assert!(text.len() > 50, "{}: text output too small", exp.id);
         let csv = artifact.to_csv();

@@ -305,6 +305,57 @@ proptest! {
     }
 
     #[test]
+    fn engine_matches_sequential_baseline_on_random_subsets(
+        mask in 1u32..512,
+        perm_seed in 0u64..1000,
+        jobs in 1usize..5,
+    ) {
+        use cluster_eval::engine::{run_experiments, Ctx};
+        // A pool of cheap registry entries including the Alya trio, whose
+        // fig9/fig10 → fig8 deps exercise the cache-sharing path.
+        const POOL: [&str; 9] = [
+            "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig8", "fig9", "fig10",
+        ];
+        static BASELINE: std::sync::OnceLock<std::collections::HashMap<&'static str, String>> =
+            std::sync::OnceLock::new();
+        let baseline = BASELINE.get_or_init(|| {
+            POOL.iter()
+                .map(|&id| (id, cluster_eval::run(id).expect("registered").to_csv()))
+                .collect()
+        });
+        // Pick the subset from the mask bits, then shuffle its order.
+        let mut subset: Vec<&str> = POOL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &id)| id)
+            .collect();
+        let mut rng = simkit::rng::Pcg32::seeded(perm_seed);
+        for i in (1..subset.len()).rev() {
+            subset.swap(i, rng.next_below(i as u32 + 1) as usize);
+        }
+        let experiments = subset
+            .iter()
+            .map(|&id| {
+                cluster_eval::all_experiments()
+                    .into_iter()
+                    .find(|e| e.id == id)
+                    .expect("registered")
+            })
+            .collect();
+        let reports = run_experiments(experiments, jobs, &Ctx::new());
+        prop_assert_eq!(reports.len(), subset.len());
+        for (want_id, report) in subset.iter().zip(&reports) {
+            prop_assert_eq!(*want_id, report.id, "engine preserves input order");
+            prop_assert_eq!(
+                &report.artifact.to_csv(),
+                &baseline[report.id],
+                "{} diverged from the sequential baseline", report.id
+            );
+        }
+    }
+
+    #[test]
     fn roofline_attainable_is_monotone_in_intensity(
         lo in 0.001f64..1.0,
         factor in 1.01f64..100.0,

@@ -1,0 +1,2 @@
+//! Offline placeholder for `bytes` — declared by `mpisim` but unused
+//! (`simkit::units::Bytes` is the workspace byte-count type).

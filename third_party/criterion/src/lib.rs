@@ -1,0 +1,220 @@
+//! Offline mini re-implementation of the slice of `criterion` the bench
+//! targets use.
+//!
+//! No crates.io access is available, so this crate provides a compatible
+//! harness: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! [`Bencher::iter`], [`Throughput`], [`BenchmarkId`]. Timing is a plain
+//! mean over `sample_size` iterations (no outlier analysis, no plots) —
+//! enough to compare hot paths release-to-release on one host.
+
+pub use std::hint::black_box;
+
+use std::time::Instant;
+
+/// Top-level harness configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub has a fixed one-call warm-up.
+    pub fn warm_up_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement length is governed by
+    /// `sample_size` alone.
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Standalone `bench_function` (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one("", &id.into().label, sample_size, None, f);
+        self
+    }
+}
+
+/// Benchmark identifier (`"name"` or `BenchmarkId::new(func, param)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Compose a function/parameter id.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        Self {
+            label: format!("{}/{}", function.to_string(), parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Work-rate annotation printed with the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (flops, items) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into().label,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Close the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    group: &str,
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        sample_size,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    let full = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) if b.mean_ns > 0.0 => {
+            format!("  {:.3} Melem/s", e as f64 / b.mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            format!(
+                "  {:.3} GiB/s",
+                n as f64 / b.mean_ns * 1e9 / (1u64 << 30) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{full:<50} {:>12.3} µs/iter{rate}", b.mean_ns / 1e3);
+}
+
+/// Passed to the closure of `bench_function`; times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.sample_size as f64;
+    }
+}
+
+/// `criterion_group!` — both the flat and the `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!` — a `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,2 @@
+//! Offline placeholder for `crossbeam` — declared by `mpisim` but unused;
+//! the engine's worker pool uses `std::thread::scope` instead.

@@ -1,0 +1,2 @@
+//! Offline placeholder for `parking_lot` — declared by `mpisim` but unused;
+//! `std::sync::Mutex` serves the workspace's locking needs.

@@ -1,0 +1,6 @@
+//! Offline placeholder for `rand`.
+//!
+//! The workspace's only RNG is the deterministic [`simkit::rng::Pcg32`];
+//! `rand` is declared by a couple of manifests but never imported, so this
+//! stub exists purely to satisfy dependency resolution without network
+//! access.

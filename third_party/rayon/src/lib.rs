@@ -1,0 +1,90 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate maps the
+//! parallel-iterator surface the kernels use (`par_iter`, `par_iter_mut`,
+//! `par_chunks_mut`, `into_par_iter`) straight onto the standard sequential
+//! iterators. Results are bit-identical to rayon's (the kernels only use
+//! order-insensitive reductions), and the whole-suite parallelism lives one
+//! level up in `cluster_eval::engine`, which runs experiments on real OS
+//! threads.
+
+pub mod prelude {
+    /// `rayon::prelude::IntoParallelIterator`, sequentially.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Hand back the plain sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `rayon::prelude::IntoParallelRefIterator`, sequentially.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Matching sequential iterator type.
+        type Iter;
+        /// Hand back the plain `iter()`-style iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+    impl<'data, I: ?Sized + 'data> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `rayon::prelude::IntoParallelRefMutIterator`, sequentially.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Matching sequential iterator type.
+        type Iter;
+        /// Hand back the plain `iter_mut()`-style iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+    impl<'data, I: ?Sized + 'data> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `rayon::prelude::ParallelSliceMut`, sequentially.
+    pub trait ParallelSliceMut<T> {
+        /// `chunks_mut`, named like rayon's parallel version.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `rayon::prelude::ParallelSlice`, sequentially.
+    pub trait ParallelSlice<T> {
+        /// `chunks`, named like rayon's parallel version.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+}
+
+/// Number of "worker threads" — one, since this stand-in is sequential.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// `rayon::join`, run left-then-right on the current thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}

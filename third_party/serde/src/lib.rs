@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model structs to
+//! document that they are plain data, but never serializes them; the build
+//! environment has no crates.io access. This crate supplies just enough
+//! surface for those derives to compile: two empty marker traits plus the
+//! no-op derive macros from the sibling `serde_derive` stub.
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
