@@ -6,6 +6,8 @@
 //! cluster-eval run --all [--jobs N] [--filter GLOB]
 //!                                   run the registry on a worker pool with a shared cache
 //! cluster-eval bench-all [--csv]    run everything, report wall time and cache hits/misses
+//! cluster-eval bench-all --json     measure host kernel throughput (1 thread vs pool)
+//!                                   and print the BENCH_host.json snapshot
 //! cluster-eval report [dir]         write all artifacts to <dir> (default ./report)
 //! cluster-eval table4               shortcut for the speedup summary
 //! ```
@@ -19,7 +21,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cluster-eval list\n  cluster-eval run <id> [--csv]\n  \
          cluster-eval run --all [--jobs N] [--filter GLOB]\n  \
-         cluster-eval bench-all [--csv]\n  \
+         cluster-eval bench-all [--csv|--json]\n  \
          cluster-eval report [dir]\n  cluster-eval table4\n  cluster-eval validate"
     );
     ExitCode::from(2)
@@ -135,7 +137,14 @@ fn run_one(id: &str, csv: bool) -> ExitCode {
     }
 }
 
-fn bench_all(csv: bool) -> ExitCode {
+fn bench_all(csv: bool, json: bool) -> ExitCode {
+    if json {
+        // Host-kernel mode: measure what the parallel runtime delivers on
+        // *this* machine (1 thread vs full pool) and emit the
+        // BENCH_host.json snapshot format.
+        print!("{}", cluster_eval::hostbench::run_host_bench().to_json());
+        return ExitCode::SUCCESS;
+    }
     let ctx = Ctx::new();
     let mut experiments = all_experiments();
     experiments.extend(extension_experiments());
@@ -174,7 +183,10 @@ fn main() -> ExitCode {
             }
             run_one(id, args.iter().any(|a| a == "--csv"))
         }
-        Some("bench-all") => bench_all(args.iter().any(|a| a == "--csv")),
+        Some("bench-all") => bench_all(
+            args.iter().any(|a| a == "--csv"),
+            args.iter().any(|a| a == "--json"),
+        ),
         Some("report") => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "report".into());
             match cluster_eval::report::generate_report(std::path::Path::new(&dir)) {

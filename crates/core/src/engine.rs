@@ -128,6 +128,11 @@ struct SchedState {
 /// itself, which keeps filtered runs deterministic too.
 pub fn run_experiments(experiments: Vec<Experiment>, jobs: usize, ctx: &Ctx) -> Vec<RunReport> {
     let jobs = jobs.max(1).min(experiments.len().max(1));
+    // Tell the kernel runtime how many driver threads will run kernels
+    // concurrently: each rayon region then uses `configured / jobs`
+    // workers, so engine jobs × pool threads never oversubscribe the core
+    // budget. The guard restores the full pool when this run finishes.
+    let _pool_budget = rayon::reserve_drivers(jobs);
     let ids: HashSet<&'static str> = experiments.iter().map(|e| e.id).collect();
     let state = Mutex::new(SchedState {
         claimed: vec![false; experiments.len()],

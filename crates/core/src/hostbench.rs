@@ -1,0 +1,268 @@
+//! Host micro-benchmarks for the kernel runtime (`bench-all --json`).
+//!
+//! Unlike the experiment registry — which reproduces the *paper's* A64FX
+//! numbers from analytic machine models — this module measures what the
+//! rewritten parallel runtime actually delivers on the machine running the
+//! binary: per-kernel GB/s or GFLOP/s with 1 worker thread and with the
+//! full configured pool, plus the resulting speedup. The output is the
+//! committed `BENCH_host.json` snapshot (regenerate it with
+//! `cluster-eval bench-all --json > BENCH_host.json` — the recorded
+//! `host.cores` field says what hardware a snapshot came from, so numbers
+//! from a 1-core CI container and a 48-core A64FX node are never confused).
+//!
+//! Every measurement is best-of-`TRIALS` wall time over a fixed problem
+//! size; the kernels themselves are the real `crates/kernels`
+//! implementations, so these numbers move when the runtime or the kernels
+//! do.
+
+use kernels::cg::build_hpcg_matrix;
+use kernels::gemm::{gemm_blocked, gemm_flops};
+use kernels::matrix::DenseMatrix;
+use kernels::md::LjSystem;
+use kernels::stencil::OceanGrid;
+use kernels::stream::{measure_bandwidth, StreamArrays, StreamKernel};
+use std::time::Instant;
+
+/// Best-of trials per measurement.
+const TRIALS: usize = 3;
+
+/// A kernel measurement entry point: thread count in, throughput out.
+type BenchFn = fn(usize) -> f64;
+
+/// One kernel's measurement at both thread settings.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// Kernel name (`stream_triad`, `gemm_blocked`, …).
+    pub name: &'static str,
+    /// Unit of `value_1t` / `value_nt` (`GB/s` or `GFLOP/s`).
+    pub metric: &'static str,
+    /// Problem-size note for the record (e.g. `n=2000000`).
+    pub size: String,
+    /// Throughput with a single worker thread.
+    pub value_1t: f64,
+    /// Throughput with the full configured pool.
+    pub value_nt: f64,
+}
+
+impl KernelBench {
+    /// `value_nt / value_1t`.
+    pub fn speedup(&self) -> f64 {
+        if self.value_1t > 0.0 {
+            self.value_nt / self.value_1t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full host snapshot.
+#[derive(Debug, Clone)]
+pub struct HostBench {
+    /// Cores the OS reports (`available_parallelism`).
+    pub host_cores: usize,
+    /// Worker threads the "N-thread" column used.
+    pub pool_threads: usize,
+    /// Per-kernel measurements.
+    pub kernels: Vec<KernelBench>,
+}
+
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Run `measure` under a pool fixed to `threads` workers.
+fn with_pool<R>(threads: usize, measure: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction is infallible")
+        .install(measure)
+}
+
+fn bench_stream(threads: usize) -> f64 {
+    let mut arrays = StreamArrays::new(2_000_000);
+    with_pool(threads, || {
+        measure_bandwidth(&mut arrays, StreamKernel::Triad, TRIALS, true)
+    })
+}
+
+fn bench_gemm(threads: usize) -> f64 {
+    let n = 192;
+    let a = DenseMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0);
+    let b = DenseMatrix::from_fn(n, n, |i, j| ((i * 13 + j * 41) % 89) as f64 / 89.0);
+    let mut c = DenseMatrix::zeros(n, n);
+    let secs = with_pool(threads, || time_best(|| gemm_blocked(&a, &b, &mut c)));
+    gemm_flops(n, n, n) as f64 / secs / 1e9
+}
+
+fn bench_spmv(threads: usize) -> f64 {
+    let a = build_hpcg_matrix(24, 24, 24);
+    let x: Vec<f64> = (0..a.n).map(|i| (i as f64).sin()).collect();
+    let mut y = vec![0.0; a.n];
+    let reps = 20;
+    let secs = with_pool(threads, || {
+        time_best(|| {
+            for _ in 0..reps {
+                a.spmv(&x, &mut y);
+            }
+        })
+    });
+    (2 * a.nnz() * reps) as f64 / secs / 1e9
+}
+
+fn bench_stencil(threads: usize) -> f64 {
+    let mut grid = OceanGrid::with_bump(512, 256);
+    let reps = 10;
+    let mut bytes = 0u64;
+    let secs = with_pool(threads, || {
+        time_best(|| {
+            bytes = 0;
+            for _ in 0..reps {
+                let (_, b) = grid.step(1.0, 1000.0);
+                bytes += b;
+            }
+        })
+    });
+    bytes as f64 / secs / 1e9
+}
+
+fn bench_md(threads: usize) -> f64 {
+    let mut sys = LjSystem::cubic_lattice(12, 0.8, 42);
+    let mut flops = 0u64;
+    let secs = with_pool(threads, || {
+        time_best(|| {
+            let (_, fl) = sys.compute_forces();
+            flops = fl;
+        })
+    });
+    flops as f64 / secs / 1e9
+}
+
+/// Measure every kernel at 1 thread and at the configured pool width.
+pub fn run_host_bench() -> HostBench {
+    let pool_threads = rayon::current_num_threads();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let runs: Vec<(&'static str, &'static str, String, BenchFn)> = vec![
+        (
+            "stream_triad",
+            "GB/s",
+            "n=2000000 f64 elements".into(),
+            bench_stream,
+        ),
+        (
+            "gemm_blocked",
+            "GFLOP/s",
+            "192x192x192 packed tiles".into(),
+            bench_gemm,
+        ),
+        (
+            "spmv_csr",
+            "GFLOP/s",
+            "HPCG 24x24x24 27-point, 20 reps".into(),
+            bench_spmv,
+        ),
+        (
+            "stencil_ocean",
+            "GB/s",
+            "512x256 shallow-water, 10 steps".into(),
+            bench_stencil,
+        ),
+        (
+            "md_forces",
+            "GFLOP/s",
+            "1728 LJ particles, cell list".into(),
+            bench_md,
+        ),
+    ];
+    let kernels = runs
+        .into_iter()
+        .map(|(name, metric, size, f)| KernelBench {
+            name,
+            metric,
+            size,
+            value_1t: f(1),
+            value_nt: f(pool_threads),
+        })
+        .collect();
+    HostBench {
+        host_cores,
+        pool_threads,
+        kernels,
+    }
+}
+
+impl HostBench {
+    /// Render as pretty-printed JSON (the `BENCH_host.json` format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"host\": {\n");
+        out.push_str(&format!("    \"cores\": {},\n", self.host_cores));
+        out.push_str(&format!("    \"pool_threads\": {}\n", self.pool_threads));
+        out.push_str("  },\n");
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", k.name));
+            out.push_str(&format!("      \"metric\": \"{}\",\n", k.metric));
+            out.push_str(&format!("      \"size\": \"{}\",\n", k.size));
+            out.push_str(&format!("      \"value_1_thread\": {:.3},\n", k.value_1t));
+            out.push_str(&format!(
+                "      \"value_{}_threads\": {:.3},\n",
+                self.pool_threads, k.value_nt
+            ));
+            out.push_str(&format!("      \"speedup\": {:.3}\n", k.speedup()));
+            out.push_str(if i + 1 < self.kernels.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_well_formed() {
+        let hb = HostBench {
+            host_cores: 4,
+            pool_threads: 4,
+            kernels: vec![KernelBench {
+                name: "stream_triad",
+                metric: "GB/s",
+                size: "n=10".into(),
+                value_1t: 10.0,
+                value_nt: 30.0,
+            }],
+        };
+        let j = hb.to_json();
+        assert!(j.contains("\"cores\": 4"));
+        assert!(j.contains("\"value_4_threads\": 30.000"));
+        assert!(j.contains("\"speedup\": 3.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn speedup_handles_zero_baseline() {
+        let k = KernelBench {
+            name: "x",
+            metric: "GB/s",
+            size: String::new(),
+            value_1t: 0.0,
+            value_nt: 5.0,
+        };
+        assert_eq!(k.speedup(), 0.0);
+    }
+}

@@ -25,6 +25,7 @@
 pub mod engine;
 pub mod experiments;
 pub mod extensions;
+pub mod hostbench;
 pub mod report;
 pub mod speedup;
 pub mod validation;

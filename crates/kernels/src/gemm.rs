@@ -1,7 +1,14 @@
 //! Blocked double-precision general matrix multiply.
 //!
-//! `C ← C + A·B` with cache blocking and a rayon-parallel outer loop — the
-//! update kernel that dominates HPL's trailing-submatrix work.
+//! `C ← C + A·B` with cache blocking, packed tiles, and a rayon-parallel
+//! outer loop — the update kernel that dominates HPL's trailing-submatrix
+//! work.
+//!
+//! Numerical contract: every implementation here accumulates each `C(i,j)`
+//! in ascending-`k` order with plain multiply-add (no FMA contraction, no
+//! zero-operand short-circuits), so the reference and blocked paths agree
+//! to rounding and both propagate NaN/inf operands the way IEEE 754
+//! arithmetic dictates (`NaN × 0 = NaN`).
 
 use crate::matrix::DenseMatrix;
 use rayon::prelude::*;
@@ -18,9 +25,6 @@ pub fn gemm_reference(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
     for j in 0..b.cols {
         for k in 0..a.cols {
             let bkj = b[(k, j)];
-            if bkj == 0.0 {
-                continue;
-            }
             for i in 0..a.rows {
                 c[(i, j)] += a[(i, k)] * bkj;
             }
@@ -29,8 +33,11 @@ pub fn gemm_reference(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
 }
 
 /// Blocked, parallel `C ← C + A·B`. Columns of `C` are partitioned across
-/// rayon workers; inside each worker the classic (jc, kc, ic) blocking keeps
-/// the working set in cache.
+/// rayon workers; inside each worker the classic (jc, kc, ic) blocking
+/// keeps the working set in cache, and each `BLOCK × BLOCK` tile of `A`
+/// and `B` is packed into a contiguous scratch buffer before the
+/// micro-kernel runs, so the innermost loop streams unit-stride packed
+/// data with no index arithmetic or bounds checks.
 pub fn gemm_blocked(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
     assert_eq!(a.cols, b.rows, "inner dimensions disagree");
     assert_eq!(c.rows, a.rows, "C rows disagree");
@@ -53,21 +60,33 @@ pub fn gemm_blocked(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
     };
     col_chunks.into_par_iter().for_each(|(j0, cslab)| {
         let jw = cslab.len() / c_rows;
+        // Per-worker packing scratch: `apack` holds an iw×kw tile of A
+        // column-by-column (unit stride in i), `bpack` a kw×jw tile of B
+        // column-by-column (unit stride in k).
+        let mut apack = vec![0.0f64; BLOCK * BLOCK];
+        let mut bpack = vec![0.0f64; BLOCK * BLOCK];
         for k0 in (0..kk).step_by(BLOCK) {
             let kw = BLOCK.min(kk - k0);
+            for (jj, bcol) in bpack.chunks_mut(kw).take(jw).enumerate() {
+                let bsrc = b.col(j0 + jj);
+                bcol.copy_from_slice(&bsrc[k0..k0 + kw]);
+            }
             for i0 in (0..m).step_by(BLOCK) {
                 let iw = BLOCK.min(m - i0);
-                // Micro-kernel over the (i0..i0+iw) × (j0..j0+jw) tile.
+                for (kk2, acol) in apack.chunks_mut(iw).take(kw).enumerate() {
+                    let asrc = a.col(k0 + kk2);
+                    acol.copy_from_slice(&asrc[i0..i0 + iw]);
+                }
+                // Micro-kernel over the (i0..i0+iw) × (j0..j0+jw) tile:
+                // C-tile column `jj` accumulates each packed A column
+                // scaled by the packed B entry, ascending in k.
                 for jj in 0..jw {
-                    let cj = &mut cslab[jj * c_rows..jj * c_rows + m];
+                    let cj = &mut cslab[jj * c_rows + i0..jj * c_rows + i0 + iw];
                     for kk2 in 0..kw {
-                        let bkj = b[(k0 + kk2, j0 + jj)];
-                        if bkj == 0.0 {
-                            continue;
-                        }
-                        let acol = a.col(k0 + kk2);
-                        for ii in 0..iw {
-                            cj[i0 + ii] += acol[i0 + ii] * bkj;
+                        let bkj = bpack[jj * kw + kk2];
+                        let ap = &apack[kk2 * iw..(kk2 + 1) * iw];
+                        for (ci, &ai) in cj.iter_mut().zip(ap) {
+                            *ci += ai * bkj;
                         }
                     }
                 }
@@ -138,6 +157,27 @@ mod tests {
         let mut c = DenseMatrix::from_fn(4, 4, |i, j| if i == j { 10.0 } else { 0.0 });
         gemm_blocked(&a, &b, &mut c);
         assert_eq!(c[(0, 0)], 11.0);
+    }
+
+    #[test]
+    fn nan_propagates_through_zero_b_entries() {
+        // Historical bug: a `bkj == 0.0 { continue }` fast path silently
+        // swallowed NaN/inf in A (IEEE says NaN × 0 = NaN). Both paths must
+        // now propagate it, and identically.
+        let mut a = DenseMatrix::zeros(8, 8);
+        a[(3, 2)] = f64::NAN;
+        let b = DenseMatrix::zeros(8, 8); // all-zero B would have skipped every k
+        let mut c1 = DenseMatrix::zeros(8, 8);
+        let mut c2 = DenseMatrix::zeros(8, 8);
+        gemm_reference(&a, &b, &mut c1);
+        gemm_blocked(&a, &b, &mut c2);
+        for j in 0..8 {
+            assert!(c1[(3, j)].is_nan(), "reference must propagate NaN to row 3");
+            assert!(c2[(3, j)].is_nan(), "blocked must propagate NaN to row 3");
+        }
+        // Rows untouched by the NaN stay finite in both.
+        assert_eq!(c1[(0, 0)], 0.0);
+        assert_eq!(c2[(0, 0)], 0.0);
     }
 
     #[test]

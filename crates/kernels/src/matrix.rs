@@ -164,16 +164,27 @@ impl CsrMatrix {
             .zip(self.values[span].iter().copied())
     }
 
-    /// Sparse matrix-vector product `y = A·x` (rayon-parallel over rows).
+    /// Sparse matrix-vector product `y = A·x`, rayon-parallel over
+    /// contiguous row chunks: each task owns a span of rows (and the
+    /// matching `row_ptr`/`values` range), which keeps CSR traversal
+    /// streaming and amortises task overhead over hundreds of rows.
+    /// Every `y[i]` is an independent ascending-`k` sum, so results are
+    /// identical at any thread count or chunking.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "x dimension mismatch");
         assert_eq!(y.len(), self.n, "y dimension mismatch");
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            let mut sum = 0.0;
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                sum += self.values[k] * x[self.col_idx[k]];
+        let tasks = (rayon::current_num_threads() * 4).max(1);
+        let chunk = self.n.div_ceil(tasks).max(256);
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let base = ci * chunk;
+            for (r, yi) in yc.iter_mut().enumerate() {
+                let i = base + r;
+                let mut sum = 0.0;
+                for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                    sum += self.values[k] * x[self.col_idx[k]];
+                }
+                *yi = sum;
             }
-            *yi = sum;
         });
     }
 

@@ -1,2 +1,230 @@
-//! Offline placeholder for `crossbeam` — declared by `mpisim` but unused;
-//! the engine's worker pool uses `std::thread::scope` instead.
+//! Offline stand-in for `crossbeam` — the work-stealing deques behind the
+//! `rayon` stand-in's thread pool.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the [`deque`] API surface (`Worker` / `Stealer` / `Injector` / `Steal`)
+//! with Chase–Lev *semantics* — owner pops newest-first (LIFO), thieves
+//! steal oldest-first (FIFO), so stolen tasks are the largest un-split
+//! pieces — on top of a `parking_lot`-locked ring buffer rather than the
+//! lock-free original. That trades peak steal throughput for simplicity
+//! and zero `unsafe`; at the task granularities the kernel runtime uses
+//! (thousands of elements per task) the lock is not measurable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deque {
+    //! Work-stealing double-ended queues (lock-based; see crate docs).
+
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    /// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `Success(t)` as `Some(t)`, everything else as `None`.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    #[derive(Debug)]
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// The owner's end of a work-stealing deque.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new deque whose owner pops newest-first (the Chase–Lev
+        /// configuration rayon uses).
+        pub fn new_lifo() -> Self {
+            Self {
+                shared: Arc::new(Shared {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+            }
+        }
+
+        /// A new deque whose owner pops oldest-first. Provided for API
+        /// compatibility; this stand-in's owner side is always LIFO (the
+        /// configuration the `rayon` stand-in uses).
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        /// Push a task onto the owner's end (the "bottom").
+        pub fn push(&self, task: T) {
+            self.shared.queue.lock().push_back(task);
+        }
+
+        /// Pop the most recently pushed task (owner side, LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.shared.queue.lock().pop_back()
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().len()
+        }
+
+        /// A stealer handle other workers use to take tasks from the top.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// A thief's handle onto some worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal the oldest task (the "top" of the deque, FIFO side).
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.queue.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// A shared FIFO injection queue (global task inbox).
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// A new empty injector.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the tail.
+        pub fn push(&self, task: T) {
+            self.queue.lock().push_back(task);
+        }
+
+        /// Steal the task at the head.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        // Thief takes the oldest…
+        assert_eq!(s.steal(), Steal::Success(1));
+        // …owner takes the newest.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn steal_races_across_threads_lose_no_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let taken = &taken;
+                scope.spawn(move || {
+                    while s.steal().success().is_some() {
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            while w.pop().is_some() {
+                taken.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(taken.load(Ordering::SeqCst), 1000);
+    }
+}

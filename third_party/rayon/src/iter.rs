@@ -1,0 +1,639 @@
+//! The parallel-iterator surface: splittable producers over slices, `Vec`s
+//! and ranges, the adapters the kernel layer uses (`map`, `zip`,
+//! `enumerate`), and the consumers (`for_each`, `sum`, `reduce`, `fold`,
+//! `collect`).
+//!
+//! Unlike real rayon's producer/consumer plumbing, everything here is one
+//! *indexed splittable* abstraction: a [`ParallelIterator`] knows its exact
+//! length, can split itself at any index into two independent halves, and
+//! can lower itself into an ordinary sequential [`Iterator`] over a piece.
+//! The pool (see [`crate::pool`]) only ever manipulates whole pieces, which
+//! is what keeps the entire runtime free of `unsafe`.
+
+use crate::pool;
+use std::marker::PhantomData;
+
+/// An indexed, splittable parallel iterator.
+///
+/// Implementors are *descriptions* of an iteration space (a slice, a
+/// range, a mapped/zipped view) that the pool can cut into contiguous
+/// pieces; each piece is finally lowered to a plain sequential iterator
+/// with [`into_seq`](Self::into_seq) on whichever worker ends up owning it.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type produced by the iteration.
+    type Item: Send;
+    /// The sequential iterator a piece lowers to.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of remaining elements.
+    fn len(&self) -> usize;
+
+    /// Split into `[0, index)` and `[index, len)`. `index` must be
+    /// `<= self.len()`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Lower this piece to a sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// True when no elements remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run `f` on every element, in parallel. Every element is visited
+    /// exactly once but in no particular order.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        pool::drive_for_each(self, &f);
+    }
+
+    /// Lazily transform each element with `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Clone + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair elements with another iterable, stopping at the shorter.
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z::Iter>
+    where
+        Z: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Pair each element with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Sum the elements with the deterministic chunk-ordered reduction
+    /// tree: bit-identical at every thread count, and identical to a
+    /// sequential left-fold for inputs of at most
+    /// [`pool::DET_SINGLE_CHUNK`] elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        match pool::drive_fold_reduce(self, |seq| seq.sum::<S>(), |a, b| [a, b].into_iter().sum()) {
+            Some(s) => s,
+            None => std::iter::empty::<S>().sum(),
+        }
+    }
+
+    /// Reduce with `op` over the deterministic chunk grid: each chunk is
+    /// left-folded from `identity()`, then the chunk partials are combined
+    /// strictly in chunk order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let id_ref = &identity;
+        let op_ref = &op;
+        pool::drive_fold_reduce(self, move |seq| seq.fold(id_ref(), op_ref), &op)
+            .unwrap_or_else(identity)
+    }
+
+    /// Accumulate per-chunk state (rayon's `fold`); finish with
+    /// [`Fold::reduce`].
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, A, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+            _acc: PhantomData,
+        }
+    }
+
+    /// Collect the elements **in order** into `C` (chunks are gathered in
+    /// parallel, then concatenated in chunk order).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        match pool::drive_fold_reduce(
+            self,
+            |seq| seq.collect::<Vec<_>>(),
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        ) {
+            Some(v) => v.into_iter().collect(),
+            None => std::iter::empty().collect(),
+        }
+    }
+}
+
+/// Deferred chunk-fold produced by [`ParallelIterator::fold`]; consume it
+/// with [`reduce`](Self::reduce).
+pub struct Fold<I, A, ID, F> {
+    base: I,
+    identity: ID,
+    fold_op: F,
+    _acc: PhantomData<fn() -> A>,
+}
+
+impl<I, A, ID, F> Fold<I, A, ID, F>
+where
+    I: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, I::Item) -> A + Sync,
+{
+    /// Combine the per-chunk accumulators strictly in chunk order.
+    pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> A
+    where
+        ID2: Fn() -> A,
+        OP: Fn(A, A) -> A,
+    {
+        let Fold {
+            base,
+            identity: init,
+            fold_op,
+            ..
+        } = self;
+        pool::drive_fold_reduce(base, move |seq| seq.fold(init(), &fold_op), op)
+            .unwrap_or_else(identity)
+    }
+}
+
+/// Types convertible into a [`ParallelIterator`] by value.
+pub trait IntoParallelIterator {
+    /// Element type of the resulting iterator.
+    type Item: Send;
+    /// The concrete parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` — shared-reference parallel iteration, resolved through
+/// `IntoParallelIterator for &T` (blanket impl, mirroring rayon).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a shared reference).
+    type Item: Send + 'data;
+    /// The concrete parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate the collection's elements by shared reference, in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoParallelIterator,
+{
+    type Item = <&'data T as IntoParallelIterator>::Item;
+    type Iter = <&'data T as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` — exclusive-reference parallel iteration, resolved
+/// through `IntoParallelIterator for &mut T`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type (an exclusive reference).
+    type Item: Send + 'data;
+    /// The concrete parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate the collection's elements by exclusive reference, in
+    /// parallel.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoParallelIterator,
+{
+    type Item = <&'data mut T as IntoParallelIterator>::Item;
+    type Iter = <&'data mut T as IntoParallelIterator>::Iter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_chunks()` over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Iterate over contiguous `chunk_size`-element windows (last one may
+    /// be shorter), in parallel. Panics if `chunk_size == 0`.
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        Chunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// `par_chunks_mut()` over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Iterate over contiguous mutable `chunk_size`-element windows (last
+    /// one may be shorter), in parallel. Panics if `chunk_size == 0`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Producers
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+    type Seq = std::slice::Iter<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (Self { slice: l }, Self { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+#[derive(Debug)]
+pub struct SliceIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParallelIterator for SliceIterMut<'data, T> {
+    type Item = &'data mut T;
+    type Seq = std::slice::IterMut<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (Self { slice: l }, Self { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over shared chunks of a slice.
+#[derive(Debug)]
+pub struct Chunks<'data, T> {
+    slice: &'data [T],
+    size: usize,
+}
+
+impl<'data, T: Sync> ParallelIterator for Chunks<'data, T> {
+    type Item = &'data [T];
+    type Seq = std::slice::Chunks<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel iterator over exclusive chunks of a slice.
+#[derive(Debug)]
+pub struct ChunksMut<'data, T> {
+    slice: &'data mut [T],
+    size: usize,
+}
+
+impl<'data, T: Send> ParallelIterator for ChunksMut<'data, T> {
+    type Item = &'data mut [T];
+    type Seq = std::slice::ChunksMut<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+#[derive(Debug)]
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, Self { vec: tail })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.vec.into_iter()
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+#[derive(Debug)]
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    type Seq = std::ops::Range<usize>;
+
+    fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.start + index;
+        (
+            Self {
+                start: self.start,
+                end: mid,
+            },
+            Self {
+                start: mid,
+                end: self.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.start..self.end
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter { vec: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Send> IntoParallelIterator for &'data mut [T] {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send> IntoParallelIterator for &'data mut Vec<T> {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        RangeIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Lazily mapped parallel iterator ([`ParallelIterator::map`]).
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Clone + Send,
+{
+    type Item = U;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                f: self.f.clone(),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Lock-step paired parallel iterator ([`ParallelIterator::zip`]).
+#[derive(Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Self { a: al, b: bl }, Self { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Index-tagged parallel iterator ([`ParallelIterator::enumerate`]).
+#[derive(Debug)]
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = SeqEnumerate<I::Seq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                offset: self.offset,
+            },
+            Self {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        SeqEnumerate {
+            inner: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Sequential lowering of [`Enumerate`]: a global-index-aware `enumerate`
+/// (pieces split from the middle of the input keep their original
+/// indices).
+#[derive(Debug)]
+pub struct SeqEnumerate<S> {
+    inner: S,
+    next: usize,
+}
+
+impl<S: Iterator> Iterator for SeqEnumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}

@@ -1,90 +1,160 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — a real work-stealing parallel runtime.
 //!
-//! The build environment has no crates.io access, so this crate maps the
-//! parallel-iterator surface the kernels use (`par_iter`, `par_iter_mut`,
-//! `par_chunks_mut`, `into_par_iter`) straight onto the standard sequential
-//! iterators. Results are bit-identical to rayon's (the kernels only use
-//! order-insensitive reductions), and the whole-suite parallelism lives one
-//! level up in `cluster_eval::engine`, which runs experiments on real OS
-//! threads.
+//! The build environment has no crates.io access, so this crate implements
+//! the rayon surface the kernel layer uses on top of the vendored
+//! `crossbeam` deques and `parking_lot` locks:
+//!
+//! * the parallel-iterator traits (`par_iter`, `par_iter_mut`,
+//!   `par_chunks`/`par_chunks_mut`, `into_par_iter`) over slices, `Vec`s
+//!   and `Range<usize>`, with `map`/`zip`/`enumerate` adapters and
+//!   `for_each`/`sum`/`reduce`/`fold`/`collect` consumers ([`iter`]);
+//! * a work-stealing executor with adaptive task splitting, scoped worker
+//!   threads, and a sequential fast path for small inputs ([`pool`]);
+//! * **deterministic chunk-ordered reductions**: `sum`/`reduce`/`fold`
+//!   combine fixed, length-only chunks strictly in order, so floating-point
+//!   results are bit-identical at every `RAYON_NUM_THREADS` setting (and
+//!   identical to a plain sequential fold for small inputs);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] for scoped thread
+//!   counts, and [`reserve_drivers`] so the experiment engine's `--jobs N`
+//!   workers share the core budget instead of oversubscribing it.
+//!
+//! The implementation is 100% safe Rust (`#![forbid(unsafe_code)]` here
+//! and in both support crates); see the [`pool`] module docs for how the
+//! scoped-worker design makes that possible.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod iter;
+pub mod pool;
+
+pub use pool::{
+    current_num_threads, join, reserve_drivers, DriverReservation, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+/// The traits kernel code imports wholesale (`use rayon::prelude::*`).
 pub mod prelude {
-    /// `rayon::prelude::IntoParallelIterator`, sequentially.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Hand back the plain sequential iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// `rayon::prelude::IntoParallelRefIterator`, sequentially.
-    pub trait IntoParallelRefIterator<'data> {
-        /// Matching sequential iterator type.
-        type Iter;
-        /// Hand back the plain `iter()`-style iterator.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-    impl<'data, I: ?Sized + 'data> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-    {
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `rayon::prelude::IntoParallelRefMutIterator`, sequentially.
-    pub trait IntoParallelRefMutIterator<'data> {
-        /// Matching sequential iterator type.
-        type Iter;
-        /// Hand back the plain `iter_mut()`-style iterator.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-    impl<'data, I: ?Sized + 'data> IntoParallelRefMutIterator<'data> for I
-    where
-        &'data mut I: IntoIterator,
-    {
-        type Iter = <&'data mut I as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `rayon::prelude::ParallelSliceMut`, sequentially.
-    pub trait ParallelSliceMut<T> {
-        /// `chunks_mut`, named like rayon's parallel version.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
-
-    /// `rayon::prelude::ParallelSlice`, sequentially.
-    pub trait ParallelSlice<T> {
-        /// `chunks`, named like rayon's parallel version.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
 }
 
-/// Number of "worker threads" — one, since this stand-in is sequential.
-pub fn current_num_threads() -> usize {
-    1
-}
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
 
-/// `rayon::join`, run left-then-right on the current thread.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+    fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("pool")
+            .install(op)
+    }
+
+    #[test]
+    fn for_each_touches_every_element_once() {
+        let mut v = vec![0u64; 100_000];
+        with_threads(4, || {
+            v.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = i as u64);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn sum_is_bit_identical_across_thread_counts() {
+        // Adversarial magnitudes so any change in association changes bits.
+        let data: Vec<f64> = (0..200_001)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 * 1e-3 + (i as f64) * 1e10)
+            .collect();
+        let s1: f64 = with_threads(1, || data.par_iter().map(|&x| x).sum());
+        let s2: f64 = with_threads(2, || data.par_iter().map(|&x| x).sum());
+        let s8: f64 = with_threads(8, || data.par_iter().map(|&x| x).sum());
+        assert_eq!(s1.to_bits(), s2.to_bits());
+        assert_eq!(s1.to_bits(), s8.to_bits());
+    }
+
+    #[test]
+    fn small_sum_matches_sequential_left_fold_exactly() {
+        let data: Vec<f64> = (0..4000).map(|i| (i as f64).sin()).collect();
+        let seq: f64 = data.iter().sum();
+        let par: f64 = with_threads(8, || data.par_iter().map(|&x| x).sum());
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let out: Vec<usize> =
+            with_threads(4, || (0..50_000).into_par_iter().map(|i| i * 3).collect());
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let a = vec![1.0f64; 10_000];
+        let b = vec![2.0f64; 7_500];
+        let n: usize = with_threads(4, || {
+            a.par_iter().zip(&b).map(|(x, y)| (x * y) as usize).sum()
+        });
+        assert_eq!(n, 15_000);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_whole_slice() {
+        let mut v = vec![0u32; 10_007]; // deliberately not a multiple of the chunk size
+        with_threads(4, || {
+            v.par_chunks_mut(64).enumerate().for_each(|(c, chunk)| {
+                for x in chunk {
+                    *x = c as u32;
+                }
+            });
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 64) as u32);
+        }
+    }
+
+    #[test]
+    fn reduce_matches_reference_chunk_tree() {
+        let data: Vec<f64> = (0..30_000).map(|i| 1.0 + (i as f64) * 1e-7).collect();
+        let par = with_threads(8, || {
+            data.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b)
+        });
+        // Reference: same deterministic chunk grid, computed sequentially.
+        let chunk = crate::pool::det_chunk_len(data.len());
+        let seq = data
+            .chunks(chunk)
+            .map(|c| c.iter().fold(0.0, |a, &x| a + x))
+            .fold(0.0, |a, b| a + b);
+        assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn fold_reduce_counts_elements() {
+        let total: usize = with_threads(4, || {
+            (0..123_457)
+                .into_par_iter()
+                .fold(|| 0usize, |acc, _| acc + 1)
+                .reduce(|| 0, |a, b| a + b)
+        });
+        assert_eq!(total, 123_457);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_does_not_hang() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                (0..100_000usize).into_par_iter().for_each(|i| {
+                    assert!(i != 54_321, "injected failure");
+                });
+            });
+        });
+        assert!(
+            result.is_err(),
+            "panic inside a parallel region must surface"
+        );
+    }
 }

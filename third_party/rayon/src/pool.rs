@@ -1,0 +1,550 @@
+//! The execution engine: thread-count configuration, the work-stealing
+//! worker pool, and the deterministic reduction driver.
+//!
+//! # Execution model
+//!
+//! Workers are *scoped per parallel region*: each top-level `for_each` /
+//! `reduce` call spins up `current_num_threads() − 1` helper threads with
+//! [`std::thread::scope`] (the caller is worker 0), distributes one slab of
+//! the iteration space per worker into `crossbeam::deque` work-stealing
+//! deques, and joins when every element is processed. Scoped spawning is
+//! what lets the pool run closures borrowing caller-stack data (`&mut
+//! [f64]` kernel slabs) with zero `unsafe`; the spawn cost (~10 µs/thread)
+//! is amortised by the [`MIN_GRAIN`] sequential fast path, which keeps
+//! small inputs away from the pool entirely.
+//!
+//! # Load balancing
+//!
+//! Each worker owns a Chase–Lev-style deque. Oversized tasks are split in
+//! half on pop — the worker keeps the left half and exposes the right half
+//! to thieves — so the task tree adapts to however the OS schedules the
+//! workers, exactly like rayon's adaptive splitting.
+//!
+//! # Determinism
+//!
+//! Side-effect traversals (`for_each`) may process elements in any order —
+//! every element is touched exactly once, so results are deterministic
+//! regardless. Value-producing reductions (`sum`, `reduce`, `fold`,
+//! `collect`) instead use a **fixed, length-only chunk grid**
+//! ([`det_chunk_len`]): partials are computed per chunk (in parallel, in
+//! any order) and combined strictly in chunk order on the caller. Because
+//! the grid depends only on the input length — never on thread count or
+//! timing — `RAYON_NUM_THREADS=1` and `=48` produce bit-identical floats,
+//! and inputs of ≤ [`DET_SINGLE_CHUNK`] elements stay a single chunk,
+//! i.e. bit-identical to a plain sequential fold.
+
+use crate::iter::ParallelIterator;
+use crossbeam::deque::{Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Minimum elements a task is worth splitting for; inputs at or below this
+/// run sequentially on the caller.
+pub const MIN_GRAIN: usize = 1024;
+/// Initial over-decomposition target per worker for adaptive splitting.
+const TASKS_PER_THREAD: usize = 4;
+/// Reductions on inputs up to this length use a single chunk — bit-identical
+/// to a plain sequential fold.
+pub const DET_SINGLE_CHUNK: usize = 4096;
+/// Smallest deterministic reduction chunk for longer inputs.
+const DET_MIN_CHUNK: usize = 2048;
+/// Upper bound on the deterministic reduction chunk count (the width of the
+/// reduction tree, and therefore the maximum reduction parallelism).
+const DET_MAX_CHUNKS: usize = 64;
+
+static BUILDER_THREADS: OnceLock<usize> = OnceLock::new();
+static DRIVER_SLOTS: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    static LOCAL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn env_default_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Worker threads a parallel region started *now* would use: an explicit
+/// [`ThreadPool::install`] override if one is active on this thread,
+/// otherwise the global configuration (`build_global` or
+/// `RAYON_NUM_THREADS`, default: available parallelism) divided by the
+/// active [driver reservation](reserve_drivers).
+pub fn current_num_threads() -> usize {
+    if let Some(n) = LOCAL_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    let base = BUILDER_THREADS
+        .get()
+        .copied()
+        .unwrap_or_else(env_default_threads);
+    let slots = DRIVER_SLOTS.load(Ordering::Relaxed).max(1);
+    (base / slots).max(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] — exists for API parity
+/// with rayon; this stand-in's build never actually fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] (or the global thread configuration).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with every knob at its default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request exactly `n` worker threads (0 keeps the default, matching
+    /// rayon's convention).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build a pool handle whose [`install`](ThreadPool::install) scope
+    /// runs parallel regions at this thread count.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(env_default_threads).max(1),
+        })
+    }
+
+    /// Install this configuration as the process-wide default. Errors if a
+    /// global configuration was already installed (rayon semantics).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = self.num_threads.unwrap_or_else(env_default_threads).max(1);
+        BUILDER_THREADS.set(n).map_err(|_| ThreadPoolBuildError(()))
+    }
+}
+
+/// A handle fixing the worker-thread count for scoped parallel regions.
+///
+/// Workers are spawned per region (see the module docs), so a `ThreadPool`
+/// holds no OS resources — it is purely the thread-count policy that
+/// [`install`](ThreadPool::install) applies.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The thread count parallel regions under [`install`](Self::install)
+    /// will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with every parallel region inside it using exactly this
+    /// pool's thread count (overrides the global configuration and any
+    /// driver reservation for the duration).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                LOCAL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = LOCAL_THREADS.with(|c| c.replace(Some(self.threads)));
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// RAII guard of a [driver reservation](reserve_drivers); dropping it
+/// restores the previous slot count.
+#[derive(Debug)]
+pub struct DriverReservation {
+    prev: usize,
+}
+
+impl Drop for DriverReservation {
+    fn drop(&mut self) {
+        DRIVER_SLOTS.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// Tell the pool that `slots` independent driver threads (e.g. the
+/// experiment engine's `--jobs N` workers) will run kernels concurrently:
+/// until the guard drops, parallel regions use `configured / slots`
+/// threads each, so pool size × drivers never exceeds the configured core
+/// budget. Intended for the single top-level engine; concurrent
+/// reservations overwrite each other (last one wins).
+pub fn reserve_drivers(slots: usize) -> DriverReservation {
+    let prev = DRIVER_SLOTS.swap(slots.max(1), Ordering::SeqCst);
+    DriverReservation { prev }
+}
+
+/// rayon's binary fork-join: runs `oper_a` and `oper_b`, potentially in
+/// parallel, and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || IN_POOL.with(Cell::get) {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(oper_b);
+        let ra = oper_a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Marks this thread as a pool worker for the guard's lifetime, making
+/// nested parallel regions run inline (no recursive thread spawning).
+struct PoolMark {
+    prev: bool,
+}
+
+impl PoolMark {
+    fn enter() -> Self {
+        Self {
+            prev: IN_POOL.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for PoolMark {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_POOL.with(|c| c.set(prev));
+    }
+}
+
+/// Sets the poison flag unless defused — lets idle workers notice that a
+/// sibling panicked mid-task (the pending count would otherwise never
+/// reach zero and they would spin forever).
+struct Bomb<'a> {
+    flag: &'a AtomicBool,
+    armed: bool,
+}
+
+impl<'a> Bomb<'a> {
+    fn new(flag: &'a AtomicBool) -> Self {
+        Self { flag, armed: true }
+    }
+
+    fn defuse(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Bomb<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flag.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Steal one task, scanning the other workers' deques round-robin from
+/// `me + 1`.
+fn steal_task<T>(me: usize, stealers: &[Stealer<T>]) -> Option<T> {
+    let n = stealers.len();
+    for k in 1..n {
+        let s = &stealers[(me + k) % n];
+        loop {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+    None
+}
+
+/// Split `iter` into `parts` contiguous near-even pieces (in order).
+fn split_even<I: ParallelIterator>(iter: I, parts: usize) -> Vec<I> {
+    let total = iter.len();
+    let parts = parts.clamp(1, total.max(1));
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = iter;
+    for i in 0..parts - 1 {
+        let take = base + usize::from(i < extra);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+    }
+    out.push(rest);
+    out
+}
+
+/// Split `iter` into the deterministic reduction grid: contiguous chunks
+/// of [`det_chunk_len`] elements (last one ragged), tagged with their
+/// chunk index.
+fn split_det_chunks<I: ParallelIterator>(iter: I, chunk: usize) -> Vec<(usize, I)> {
+    let mut out = Vec::new();
+    let mut rest = iter;
+    let mut idx = 0;
+    while rest.len() > chunk {
+        let (head, tail) = rest.split_at(chunk);
+        out.push((idx, head));
+        rest = tail;
+        idx += 1;
+    }
+    out.push((idx, rest));
+    out
+}
+
+/// The deterministic reduction chunk length for an input of `total`
+/// elements — a pure function of the length, never of the thread count.
+pub fn det_chunk_len(total: usize) -> usize {
+    if total <= DET_SINGLE_CHUNK {
+        total.max(1)
+    } else {
+        total.div_ceil(DET_MAX_CHUNKS).max(DET_MIN_CHUNK)
+    }
+}
+
+/// One worker's life inside a `for_each` region: pop or steal a task,
+/// adaptively split oversized pieces (keeping the left half, exposing the
+/// right), process, repeat until every element in the region is done.
+fn work_loop<I, F>(
+    me: usize,
+    own: Worker<I>,
+    stealers: &[Stealer<I>],
+    grain: usize,
+    pending: &AtomicUsize,
+    poisoned: &AtomicBool,
+    f: &F,
+) where
+    I: ParallelIterator,
+    F: Fn(I::Item) + Sync,
+{
+    let _mark = PoolMark::enter();
+    loop {
+        match own.pop().or_else(|| steal_task(me, stealers)) {
+            Some(mut piece) => {
+                while piece.len() > grain.saturating_mul(2) {
+                    let mid = piece.len() / 2;
+                    let (left, right) = piece.split_at(mid);
+                    own.push(right);
+                    piece = left;
+                }
+                let n = piece.len();
+                let bomb = Bomb::new(poisoned);
+                piece.into_seq().for_each(f);
+                bomb.defuse();
+                pending.fetch_sub(n, Ordering::SeqCst);
+            }
+            None => {
+                if pending.load(Ordering::SeqCst) == 0 || poisoned.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Drive a side-effect traversal over the pool (or inline when the region
+/// is small, nested, or single-threaded).
+pub(crate) fn drive_for_each<I, F>(iter: I, f: &F)
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) + Sync,
+{
+    let total = iter.len();
+    let threads = current_num_threads();
+    if threads <= 1 || total <= MIN_GRAIN || IN_POOL.with(Cell::get) {
+        iter.into_seq().for_each(f);
+        return;
+    }
+    let threads = threads.min(total.div_ceil(MIN_GRAIN));
+    let grain = (total / (threads * TASKS_PER_THREAD)).max(MIN_GRAIN);
+    let mut workers: Vec<Worker<I>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<I>> = workers.iter().map(Worker::stealer).collect();
+    for (w, slab) in workers.iter().zip(split_even(iter, threads)) {
+        w.push(slab);
+    }
+    let pending = AtomicUsize::new(total);
+    let poisoned = AtomicBool::new(false);
+    let own0 = workers.remove(0);
+    std::thread::scope(|scope| {
+        for (i, own) in workers.drain(..).enumerate() {
+            let stealers = &stealers;
+            let pending = &pending;
+            let poisoned = &poisoned;
+            scope.spawn(move || work_loop(i + 1, own, stealers, grain, pending, poisoned, f));
+        }
+        work_loop(0, own0, &stealers, grain, &pending, &poisoned, f);
+    });
+}
+
+/// One worker's life inside a reduction region: tasks are fixed
+/// `(chunk index, piece)` pairs — no adaptive splitting, because the chunk
+/// grid *is* the deterministic reduction tree.
+fn fixed_loop<I, A, FOLD>(
+    me: usize,
+    own: Worker<(usize, I)>,
+    stealers: &[Stealer<(usize, I)>],
+    slots: &[Mutex<Option<A>>],
+    pending: &AtomicUsize,
+    poisoned: &AtomicBool,
+    fold_chunk: &FOLD,
+) where
+    I: ParallelIterator,
+    A: Send,
+    FOLD: Fn(I::Seq) -> A + Sync,
+{
+    let _mark = PoolMark::enter();
+    loop {
+        match own.pop().or_else(|| steal_task(me, stealers)) {
+            Some((idx, piece)) => {
+                let bomb = Bomb::new(poisoned);
+                let partial = fold_chunk(piece.into_seq());
+                bomb.defuse();
+                *slots[idx].lock() = Some(partial);
+                pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if pending.load(Ordering::SeqCst) == 0 || poisoned.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Drive a deterministic chunk-ordered reduction: fold each fixed chunk
+/// with `fold_chunk` (in parallel, any order), then combine the partials
+/// strictly in chunk order with `combine`. Returns `None` for an empty
+/// input. The chunk grid depends only on `iter.len()`, so the float result
+/// is identical at every thread count.
+pub(crate) fn drive_fold_reduce<I, A, FOLD, COMB>(
+    iter: I,
+    fold_chunk: FOLD,
+    combine: COMB,
+) -> Option<A>
+where
+    I: ParallelIterator,
+    A: Send,
+    FOLD: Fn(I::Seq) -> A + Sync,
+    COMB: Fn(A, A) -> A,
+{
+    let total = iter.len();
+    if total == 0 {
+        return None;
+    }
+    let chunk = det_chunk_len(total);
+    let nchunks = total.div_ceil(chunk);
+    let threads = current_num_threads().min(nchunks);
+    let partials: Vec<A> = if threads <= 1 || nchunks == 1 || IN_POOL.with(Cell::get) {
+        split_det_chunks(iter, chunk)
+            .into_iter()
+            .map(|(_, piece)| fold_chunk(piece.into_seq()))
+            .collect()
+    } else {
+        let mut workers: Vec<Worker<(usize, I)>> =
+            (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<(usize, I)>> = workers.iter().map(Worker::stealer).collect();
+        for (k, task) in split_det_chunks(iter, chunk).into_iter().enumerate() {
+            workers[k % threads].push(task);
+        }
+        let slots: Vec<Mutex<Option<A>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+        let pending = AtomicUsize::new(nchunks);
+        let poisoned = AtomicBool::new(false);
+        let own0 = workers.remove(0);
+        std::thread::scope(|scope| {
+            for (i, own) in workers.drain(..).enumerate() {
+                let stealers = &stealers;
+                let slots = &slots;
+                let pending = &pending;
+                let poisoned = &poisoned;
+                let fold_chunk = &fold_chunk;
+                scope.spawn(move || {
+                    fixed_loop(i + 1, own, stealers, slots, pending, poisoned, fold_chunk)
+                });
+            }
+            fixed_loop(0, own0, &stealers, &slots, &pending, &poisoned, &fold_chunk);
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("every chunk produced a partial"))
+            .collect()
+    };
+    let mut it = partials.into_iter();
+    let mut acc = it.next()?;
+    for p in it {
+        acc = combine(acc, p);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_chunks_are_length_only() {
+        assert_eq!(det_chunk_len(10), 10);
+        assert_eq!(det_chunk_len(DET_SINGLE_CHUNK), DET_SINGLE_CHUNK);
+        assert!(det_chunk_len(DET_SINGLE_CHUNK + 1) >= DET_MIN_CHUNK);
+        // Chunk count never exceeds the tree-width cap.
+        for total in [5000usize, 100_000, 1_000_000, 10_000_000] {
+            assert!(total.div_ceil(det_chunk_len(total)) <= DET_MAX_CHUNKS);
+        }
+    }
+
+    #[test]
+    fn reservation_divides_the_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        pool.install(|| {
+            // Explicit install overrides any reservation.
+            let _g = reserve_drivers(4);
+            assert_eq!(current_num_threads(), 8);
+        });
+        // Outside install the reservation divides the configured count.
+        let base = current_num_threads();
+        {
+            let _g = reserve_drivers(usize::MAX);
+            assert_eq!(current_num_threads(), 1);
+        }
+        assert_eq!(current_num_threads(), base);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| crate::join(|| 21 * 2, || "ok"));
+        assert_eq!((a, b), (42, "ok"));
+    }
+}
