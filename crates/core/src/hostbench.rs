@@ -15,6 +15,12 @@
 //! implementations, so these numbers move when the runtime or the kernels
 //! do.
 
+use interconnect::link::LinkModel;
+use interconnect::network::Network;
+use interconnect::routing::{all_pairs_loads, RouteSteps};
+use interconnect::table::RoutingTable;
+use interconnect::tofu::{TofuD, DIMS};
+use interconnect::topology::{NodeId, Topology};
 use kernels::cg::build_hpcg_matrix;
 use kernels::gemm::{gemm_blocked, gemm_flops};
 use kernels::matrix::DenseMatrix;
@@ -55,15 +61,73 @@ impl KernelBench {
     }
 }
 
+/// Interconnect fast-path measurements: per-message route-cost resolution
+/// (before/after the memoized table), route-step enumeration rate, routing
+/// table construction cost, and the parallel all-pairs link-load sweep at
+/// one worker vs. the full pool.
+#[derive(Debug, Clone)]
+pub struct NetworkBench {
+    /// Topology the route-rate numbers come from.
+    pub route_topology: String,
+    /// Routes resolved per second through `Network::path_cost` with the
+    /// memoized [`RoutingTable`] built — the per-message fast path every
+    /// `message_time` call rides.
+    pub routes_per_sec: f64,
+    /// The same query stream answered the pre-change way: `path_cost`
+    /// before `routing_table()` is built falls back to direct
+    /// coordinate-decode `hops()`/`sharing()` — byte-for-byte the code
+    /// `message_time` ran before the table existed. Measured fresh on the
+    /// same host every run, so the before/after never mixes machines.
+    pub baseline_routes_per_sec: f64,
+    /// Full-route step enumeration rate: the non-allocating `RouteSteps`
+    /// iterator walked to completion over every ordered pair.
+    pub route_enum_per_sec: f64,
+    /// Wall time to build the memoized [`RoutingTable`], microseconds.
+    pub table_build_us: f64,
+    /// Topology the link-load sweep runs on.
+    pub sweep_topology: String,
+    /// All-pairs link-load sweep wall time with a 1-worker pool, ms.
+    pub sweep_ms_1t: f64,
+    /// Same sweep with the full configured pool, ms.
+    pub sweep_ms_nt: f64,
+}
+
+impl NetworkBench {
+    /// `routes_per_sec / baseline_routes_per_sec` — how much faster the
+    /// memoized table resolves a route than the pre-change direct path.
+    pub fn resolve_speedup(&self) -> f64 {
+        if self.baseline_routes_per_sec > 0.0 {
+            self.routes_per_sec / self.baseline_routes_per_sec
+        } else {
+            0.0
+        }
+    }
+
+    /// `sweep_ms_1t / sweep_ms_nt`.
+    pub fn sweep_speedup(&self) -> f64 {
+        if self.sweep_ms_nt > 0.0 {
+            self.sweep_ms_1t / self.sweep_ms_nt
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The full host snapshot.
 #[derive(Debug, Clone)]
 pub struct HostBench {
-    /// Cores the OS reports (`available_parallelism`).
-    pub host_cores: usize,
+    /// Cores the OS reports (`available_parallelism`). Distinct from
+    /// `pool_threads`: a snapshot may legitimately record a pool wider or
+    /// narrower than the hardware.
+    pub detected_cores: usize,
     /// Worker threads the "N-thread" column used.
     pub pool_threads: usize,
+    /// The `RAYON_NUM_THREADS` override in effect, if any.
+    pub rayon_threads_env: Option<String>,
     /// Per-kernel measurements.
     pub kernels: Vec<KernelBench>,
+    /// Interconnect fast-path measurements.
+    pub network: NetworkBench,
 }
 
 fn time_best<F: FnMut()>(mut f: F) -> f64 {
@@ -144,12 +208,124 @@ fn bench_md(threads: usize) -> f64 {
     flops as f64 / secs / 1e9
 }
 
+fn topo_label(t: &TofuD) -> String {
+    format!("TofuD {:?} ({} nodes)", t.dims, t.nodes())
+}
+
+/// Route-cost resolutions per second through [`Network::path_cost`] over
+/// every ordered pair — the operation `message_time` performs per message.
+/// With the routing table built this is the O(1) fast path; on a fresh
+/// network it falls back to the pre-change direct computation, which is
+/// what makes it the in-situ baseline.
+fn bench_resolve_rate(net: &Network<TofuD>) -> f64 {
+    let n = net.topology().nodes();
+    let reps = 20;
+    let secs = time_best(|| {
+        let mut hop_sink = 0u64;
+        let mut share_sink = 0.0f64;
+        for _ in 0..reps {
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        let c = net.path_cost(NodeId(a), NodeId(b));
+                        hop_sink = hop_sink.wrapping_add(c.hops as u64);
+                        share_sink += c.sharing;
+                    }
+                }
+            }
+        }
+        std::hint::black_box((hop_sink, share_sink));
+    });
+    (reps * n * (n - 1)) as f64 / secs
+}
+
+/// Step-enumeration rate: walk the non-allocating step iterator over every
+/// ordered pair of the CTE-Arm torus, repeated enough to dominate timer
+/// noise. Uses the same decode-free constructor the all-pairs sweeps use.
+fn bench_route_enum_rate(topo: &TofuD) -> f64 {
+    let n = topo.nodes();
+    let reps = 20;
+    let secs = time_best(|| {
+        let mut sink = 0u64;
+        for _ in 0..reps {
+            for s in 0..n {
+                let src = NodeId(s);
+                let sc = topo.coords(src);
+                let mut dc = [0usize; DIMS];
+                for r in 0..n {
+                    if r != s {
+                        sink = RouteSteps::from_coords(topo, src, sc, dc)
+                            .fold(sink, |acc, step| acc.wrapping_add(step.to.index() as u64));
+                    }
+                    topo.advance_coords(&mut dc);
+                }
+            }
+        }
+        std::hint::black_box(sink);
+    });
+    (reps * n * (n - 1)) as f64 / secs
+}
+
+/// Microseconds to build the memoized distance/sharing table.
+fn bench_table_build(topo: &TofuD) -> f64 {
+    time_best(|| {
+        std::hint::black_box(RoutingTable::build(topo));
+    }) * 1e6
+}
+
+/// All-pairs link-load sweep wall time (ms) under a pool of `threads`.
+fn bench_sweep(topo: &TofuD, threads: usize) -> f64 {
+    with_pool(threads, || {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let load = all_pairs_loads(topo);
+            std::hint::black_box(load.max_mean());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best * 1e3
+    })
+}
+
+/// Measure the interconnect fast path on the 192-node CTE-Arm torus:
+/// per-message cost resolution before (direct fallback) and after (memoized
+/// table) the fast path, step enumeration, table construction, and the
+/// all-pairs link-load sweep on a 1536-node TofuD at 1 worker vs. the full
+/// pool.
+pub fn run_network_bench(pool_threads: usize) -> NetworkBench {
+    let small = TofuD::cte_arm();
+    let big = TofuD::with_dims([8, 4, 4, 2, 3, 2], [true, true, true, false, true, false]);
+    // Two networks over the same topology: one left table-less so
+    // `path_cost` runs the pre-change direct computation, one with the
+    // memoized table the production path uses.
+    let direct = Network::new(TofuD::cte_arm(), LinkModel::tofud());
+    let cached = Network::new(TofuD::cte_arm(), LinkModel::tofud());
+    cached.routing_table();
+    NetworkBench {
+        route_topology: topo_label(&small),
+        routes_per_sec: bench_resolve_rate(&cached),
+        baseline_routes_per_sec: bench_resolve_rate(&direct),
+        route_enum_per_sec: bench_route_enum_rate(&small),
+        table_build_us: bench_table_build(&small),
+        sweep_topology: topo_label(&big),
+        sweep_ms_1t: bench_sweep(&big, 1),
+        sweep_ms_nt: bench_sweep(&big, pool_threads),
+    }
+}
+
 /// Measure every kernel at 1 thread and at the configured pool width.
 pub fn run_host_bench() -> HostBench {
     let pool_threads = rayon::current_num_threads();
-    let host_cores = std::thread::available_parallelism()
+    let detected_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let rayon_threads_env = std::env::var("RAYON_NUM_THREADS").ok();
+    if pool_threads > detected_cores {
+        eprintln!(
+            "warning: pool of {pool_threads} threads oversubscribes the \
+             {detected_cores} detected core(s); N-thread numbers will be noisy"
+        );
+    }
     let runs: Vec<(&'static str, &'static str, String, BenchFn)> = vec![
         (
             "stream_triad",
@@ -193,9 +369,11 @@ pub fn run_host_bench() -> HostBench {
         })
         .collect();
     HostBench {
-        host_cores,
+        detected_cores,
         pool_threads,
+        rayon_threads_env,
         kernels,
+        network: run_network_bench(pool_threads),
     }
 }
 
@@ -204,8 +382,18 @@ impl HostBench {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"host\": {\n");
-        out.push_str(&format!("    \"cores\": {},\n", self.host_cores));
-        out.push_str(&format!("    \"pool_threads\": {}\n", self.pool_threads));
+        out.push_str(&format!(
+            "    \"detected_cores\": {},\n",
+            self.detected_cores
+        ));
+        out.push_str(&format!("    \"pool_threads\": {},\n", self.pool_threads));
+        out.push_str(&format!(
+            "    \"rayon_num_threads_env\": {}\n",
+            match &self.rayon_threads_env {
+                Some(v) => format!("\"{v}\""),
+                None => "null".into(),
+            }
+        ));
         out.push_str("  },\n");
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
@@ -225,7 +413,50 @@ impl HostBench {
                 "    }\n"
             });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        let nw = &self.network;
+        out.push_str("  \"network\": {\n");
+        out.push_str(&format!(
+            "    \"route_topology\": \"{}\",\n",
+            nw.route_topology
+        ));
+        out.push_str(&format!(
+            "    \"routes_per_sec\": {:.0},\n",
+            nw.routes_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"baseline_routes_per_sec\": {:.0},\n",
+            nw.baseline_routes_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"resolve_speedup\": {:.3},\n",
+            nw.resolve_speedup()
+        ));
+        out.push_str(&format!(
+            "    \"route_enum_per_sec\": {:.0},\n",
+            nw.route_enum_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"table_build_us\": {:.1},\n",
+            nw.table_build_us
+        ));
+        out.push_str(&format!(
+            "    \"sweep_topology\": \"{}\",\n",
+            nw.sweep_topology
+        ));
+        out.push_str(&format!(
+            "    \"sweep_wall_ms_1_thread\": {:.1},\n",
+            nw.sweep_ms_1t
+        ));
+        out.push_str(&format!(
+            "    \"sweep_wall_ms_{}_threads\": {:.1},\n",
+            self.pool_threads, nw.sweep_ms_nt
+        ));
+        out.push_str(&format!(
+            "    \"sweep_speedup\": {:.3}\n",
+            nw.sweep_speedup()
+        ));
+        out.push_str("  }\n}\n");
         out
     }
 }
@@ -234,11 +465,25 @@ impl HostBench {
 mod tests {
     use super::*;
 
+    fn sample_network() -> NetworkBench {
+        NetworkBench {
+            route_topology: "TofuD [4, 2, 2, 2, 3, 2] (192 nodes)".into(),
+            routes_per_sec: 5.0e7,
+            baseline_routes_per_sec: 1.0e7,
+            route_enum_per_sec: 2.0e7,
+            table_build_us: 120.0,
+            sweep_topology: "TofuD [8, 4, 4, 2, 3, 2] (1536 nodes)".into(),
+            sweep_ms_1t: 200.0,
+            sweep_ms_nt: 50.0,
+        }
+    }
+
     #[test]
     fn json_shape_is_well_formed() {
         let hb = HostBench {
-            host_cores: 4,
+            detected_cores: 4,
             pool_threads: 4,
+            rayon_threads_env: None,
             kernels: vec![KernelBench {
                 name: "stream_triad",
                 metric: "GB/s",
@@ -246,12 +491,48 @@ mod tests {
                 value_1t: 10.0,
                 value_nt: 30.0,
             }],
+            network: sample_network(),
         };
         let j = hb.to_json();
-        assert!(j.contains("\"cores\": 4"));
+        assert!(j.contains("\"detected_cores\": 4"));
+        assert!(j.contains("\"rayon_num_threads_env\": null"));
         assert!(j.contains("\"value_4_threads\": 30.000"));
         assert!(j.contains("\"speedup\": 3.000"));
+        assert!(j.contains("\"routes_per_sec\": 50000000"));
+        assert!(j.contains("\"baseline_routes_per_sec\": 10000000"));
+        assert!(j.contains("\"resolve_speedup\": 5.000"));
+        assert!(j.contains("\"route_enum_per_sec\": 20000000"));
+        assert!(j.contains("\"sweep_wall_ms_4_threads\": 50.0"));
+        assert!(j.contains("\"sweep_speedup\": 4.000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn rayon_env_override_is_quoted() {
+        let hb = HostBench {
+            detected_cores: 8,
+            pool_threads: 2,
+            rayon_threads_env: Some("2".into()),
+            kernels: vec![],
+            network: sample_network(),
+        };
+        assert!(hb.to_json().contains("\"rayon_num_threads_env\": \"2\""));
+    }
+
+    #[test]
+    fn sweep_speedup_handles_zero_denominator() {
+        let mut nw = sample_network();
+        assert_eq!(nw.sweep_speedup(), 4.0);
+        nw.sweep_ms_nt = 0.0;
+        assert_eq!(nw.sweep_speedup(), 0.0);
+    }
+
+    #[test]
+    fn resolve_speedup_handles_zero_baseline() {
+        let mut nw = sample_network();
+        assert_eq!(nw.resolve_speedup(), 5.0);
+        nw.baseline_routes_per_sec = 0.0;
+        assert_eq!(nw.resolve_speedup(), 0.0);
     }
 
     #[test]

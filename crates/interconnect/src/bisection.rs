@@ -9,17 +9,19 @@
 
 use crate::fattree::FatTree;
 use crate::link::LinkModel;
+use crate::routing::all_pairs_loads;
 use crate::tofu::TofuD;
 
-/// Bisection capacity of a TofuD torus in links, cutting across its
-/// largest dimension: `2 · (nodes / extent)` links for a torus dimension
-/// (the wrap doubles the cut), `nodes / extent` for a mesh dimension —
-/// taking the best (largest) cut the topology offers... the *bisection*
-/// is the worst cut, so the minimum over dimensions that split the
-/// machine in half.
-pub fn tofu_bisection_links(topo: &TofuD) -> usize {
+/// The dimension realizing the worst (minimum-capacity) bisecting cut and
+/// its link count. Torus dimensions with extent > 2 contribute
+/// `2 · (nodes / extent)` links (the wrap doubles the cut); meshes and
+/// 2-extent tori contribute `nodes / extent`.
+///
+/// # Panics
+/// Panics when no dimension has extent ≥ 2.
+pub fn tofu_worst_cut(topo: &TofuD) -> (usize, usize) {
     let total: usize = topo.dims.iter().product();
-    let mut worst = usize::MAX;
+    let mut worst: Option<(usize, usize)> = None;
     for (i, &extent) in topo.dims.iter().enumerate() {
         if extent < 2 {
             continue; // cannot bisect along a singleton dimension
@@ -30,10 +32,76 @@ pub fn tofu_bisection_links(topo: &TofuD) -> usize {
         } else {
             cross_section
         };
-        worst = worst.min(links);
+        if worst.is_none_or(|(_, w)| links < w) {
+            worst = Some((i, links));
+        }
     }
-    assert!(worst != usize::MAX, "topology has no bisectable dimension");
-    worst
+    worst.expect("topology has no bisectable dimension")
+}
+
+/// Bisection capacity of a TofuD torus in links — the minimum cut over
+/// dimensions that split the machine in half (see [`tofu_worst_cut`]).
+pub fn tofu_bisection_links(topo: &TofuD) -> usize {
+    tofu_worst_cut(topo).1
+}
+
+/// Traffic across the worst bisecting cut under uniform all-pairs
+/// routing, measured by the parallel link-load sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutTraffic {
+    /// The dimension the cut slices.
+    pub dim: usize,
+    /// Physical links crossing the cut (the bisection capacity).
+    pub links: usize,
+    /// Total route traversals of those links under one unit per ordered
+    /// pair.
+    pub crossings: u64,
+    /// `crossings / links` — the mean load a cut link carries.
+    pub mean_load: f64,
+}
+
+/// Route-level validation of the closed-form bisection: sweep every
+/// ordered pair's dimension-ordered route (in parallel, deterministic
+/// chunk-ordered accumulation) and count traversals of the links that
+/// cross the worst cut. With an even extent, minimal routes cross the cut
+/// exactly once per half-to-half pair, so `crossings` equals the number
+/// of ordered pairs straddling the cut.
+///
+/// # Panics
+/// Panics when the worst-cut dimension has an odd extent (the halves
+/// would be unequal and "bisection" ill-defined).
+pub fn tofu_cut_traffic(topo: &TofuD) -> CutTraffic {
+    let (dim, links) = tofu_worst_cut(topo);
+    let extent = topo.dims[dim];
+    assert!(
+        extent.is_multiple_of(2),
+        "cut dimension {dim} has odd extent {extent}"
+    );
+    let half = extent / 2;
+    let load = all_pairs_loads(topo);
+    // A link crosses the cut when it spans the half boundary (coordinate
+    // half-1 ↔ half) or, on a torus, the wrap boundary (ext-1 ↔ 0).
+    let mut crossings = 0u64;
+    for (node, d, dir, count) in load.iter_used() {
+        if d != dim {
+            continue;
+        }
+        let x = topo.coords(node)[dim];
+        let crosses = if dir > 0 {
+            x == half - 1 || x == extent - 1
+        } else {
+            x == half || x == 0
+        };
+        if crosses {
+            crossings += count;
+        }
+    }
+    CutTraffic {
+        dim,
+        links,
+        crossings,
+        mean_load: crossings as f64 / links as f64,
+    }
 }
 
 /// Bisection capacity of the fat tree in equivalent node-links:
@@ -111,5 +179,33 @@ mod tests {
     #[should_panic(expected = "no bisectable dimension")]
     fn singleton_topology_rejected() {
         tofu_bisection_links(&TofuD::with_dims([1; 6], [true; 6]));
+    }
+
+    #[test]
+    fn cut_traffic_counts_straddling_pairs_exactly_once() {
+        // CTE-Arm's worst cut is X (torus of 4, 2·48 = 96 links): the 96
+        // nodes with x < 2 vs the 96 with x ≥ 2. Minimal dimension-ordered
+        // routes cross the cut exactly once per straddling ordered pair.
+        let t = TofuD::cte_arm();
+        let cut = tofu_cut_traffic(&t);
+        assert_eq!(cut.dim, 0);
+        assert_eq!(cut.links, 96);
+        assert_eq!(cut.crossings, 2 * 96 * 96, "once per straddling pair");
+        assert!((cut.mean_load - 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_links_carry_more_than_the_average_link() {
+        // The bisection trunk is the hotspot: its mean load exceeds the
+        // all-link mean from the same sweep.
+        let t = TofuD::cte_arm();
+        let cut = tofu_cut_traffic(&t);
+        let (_, mean_all) = crate::routing::all_pairs_link_load(&t);
+        assert!(
+            cut.mean_load > mean_all,
+            "cut mean {} vs global mean {}",
+            cut.mean_load,
+            mean_all
+        );
     }
 }

@@ -18,6 +18,12 @@
 //!
 //! [`placement`] implements the topology-aware block allocation the CTE-Arm
 //! scheduler performs, plus a random allocator for the ablation study.
+//!
+//! All-pairs analyses (route enumeration, link loads, placement scoring)
+//! run on a fast path: [`table::RoutingTable`] memoizes hop counts and
+//! sharing factors per topology, [`routing::RouteSteps`] enumerates routes
+//! without allocating, and the sweeps fan out over the rayon pool with
+//! chunk-ordered (bit-deterministic) reductions.
 
 #![warn(missing_docs)]
 
@@ -28,11 +34,13 @@ pub mod link;
 pub mod network;
 pub mod placement;
 pub mod routing;
+pub mod table;
 pub mod tofu;
 pub mod topology;
 
 pub use fattree::FatTree;
 pub use link::LinkModel;
-pub use network::{Degradation, Network};
+pub use network::{Degradation, Network, PathCost};
+pub use table::RoutingTable;
 pub use tofu::TofuD;
 pub use topology::{NodeId, Topology};

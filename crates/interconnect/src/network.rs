@@ -1,10 +1,11 @@
 //! A network: topology + link model + per-node health + measurement noise.
 
 use crate::link::LinkModel;
+use crate::table::RoutingTable;
 use crate::topology::{check_node, NodeId, Topology};
 use simkit::rng::Pcg32;
 use simkit::units::{Bandwidth, Bytes, Time};
-use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Asymmetric per-node bandwidth degradation.
 ///
@@ -31,31 +32,59 @@ impl Degradation {
     }
 }
 
+/// Resolved cost parameters of one (sender, receiver) path — everything
+/// [`Network::message_time`] derives from the pair before touching the
+/// message size. Callers that price many messages over the same pair (the
+/// collective stages in `mpisim`) resolve this once and reuse it via
+/// [`Network::message_time_with`] instead of re-routing per stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathCost {
+    /// Router hops on the minimal route; 0 for a node talking to itself.
+    pub hops: usize,
+    /// Oversubscription factor of the route.
+    pub sharing: f64,
+    /// Bandwidth derate from endpoint health (`tx · rx`).
+    pub health: f64,
+    /// True when sender and receiver are the same node (shared-memory
+    /// copy, not a network transfer).
+    pub local: bool,
+}
+
 /// A complete network model.
 pub struct Network<T: Topology> {
     topo: T,
     link: LinkModel,
-    degraded: HashMap<usize, Degradation>,
+    /// Per-node send/receive health factors, flat-indexed by node id
+    /// (1.0 = healthy). Dense so the per-message lookup is two loads
+    /// instead of two hash probes.
+    deg_tx: Vec<f64>,
+    deg_rx: Vec<f64>,
     /// Lognormal sigma of dynamic-contention noise for messages ≥ 1 MiB.
     /// The paper observes high run-to-run variability only above 2^20 B.
     large_msg_noise: f64,
+    /// Memoized all-pairs hop/sharing table, built on first request.
+    table: OnceLock<RoutingTable>,
 }
 
 impl<T: Topology> Network<T> {
     /// Build a healthy network.
     pub fn new(topo: T, link: LinkModel) -> Self {
+        let n = topo.nodes();
         Self {
             topo,
             link,
-            degraded: HashMap::new(),
+            deg_tx: vec![1.0; n],
+            deg_rx: vec![1.0; n],
             large_msg_noise: 0.25,
+            table: OnceLock::new(),
         }
     }
 
     /// Mark a node as degraded.
     pub fn with_degraded_node(mut self, node: NodeId, d: Degradation) -> Self {
         check_node(&self.topo, node);
-        self.degraded.insert(node.index(), d);
+        self.deg_tx[node.index()] = d.tx_factor;
+        self.deg_rx[node.index()] = d.rx_factor;
         self
     }
 
@@ -78,31 +107,63 @@ impl<T: Topology> Network<T> {
 
     /// Bandwidth derate for the (sender, receiver) pair from node health.
     fn health_factor(&self, from: NodeId, to: NodeId) -> f64 {
-        let tx = self
-            .degraded
-            .get(&from.index())
-            .map_or(1.0, |d| d.tx_factor);
-        let rx = self.degraded.get(&to.index()).map_or(1.0, |d| d.rx_factor);
-        tx * rx
+        self.deg_tx[from.index()] * self.deg_rx[to.index()]
     }
 
-    /// Deterministic (noise-free) transfer time for one message.
-    pub fn message_time(&self, from: NodeId, to: NodeId, bytes: Bytes) -> Time {
+    /// The memoized hop/sharing table, built on first request. Sweeps that
+    /// price every pair (the Fig. 4 map, link-load analysis) use it to
+    /// avoid re-deriving the route per message; one-off messages never pay
+    /// the `O(n²)` build.
+    pub fn routing_table(&self) -> &RoutingTable
+    where
+        T: Sync,
+    {
+        self.table.get_or_init(|| RoutingTable::build(&self.topo))
+    }
+
+    /// Resolve the size-independent cost parameters of one path. Uses the
+    /// memoized table when it has been built, the topology directly
+    /// otherwise — the values are identical either way.
+    pub fn path_cost(&self, from: NodeId, to: NodeId) -> PathCost {
         check_node(&self.topo, from);
         check_node(&self.topo, to);
         if from == to {
+            return PathCost {
+                hops: 0,
+                sharing: 1.0,
+                health: 1.0,
+                local: true,
+            };
+        }
+        let (hops, sharing) = match self.table.get() {
+            Some(t) => (t.hops(from, to), t.sharing(from, to)),
+            None => (self.topo.hops(from, to), self.topo.sharing(from, to)),
+        };
+        PathCost {
+            hops,
+            sharing,
+            health: self.health_factor(from, to),
+            local: false,
+        }
+    }
+
+    /// Transfer time for one message over an already-resolved path.
+    pub fn message_time_with(&self, cost: &PathCost, bytes: Bytes) -> Time {
+        if cost.local {
             // Intra-node copy through shared memory: model as half the
             // software overhead, no hops.
             return self.link.sw_overhead * 0.5 + bytes / Bandwidth::gb_per_sec(20.0);
         }
-        let hops = self.topo.hops(from, to);
-        let sharing = self.topo.sharing(from, to);
-        let health = self.health_factor(from, to);
         // A degraded endpoint (mis-trained lane, faulty DMA engine) forces
         // per-packet retransmits, stretching the whole transfer — latency
         // and serialization alike — by 1/health.
-        let healthy = self.link.message_time(bytes, hops, sharing);
-        Time::seconds(healthy.value() / health)
+        let healthy = self.link.message_time(bytes, cost.hops, cost.sharing);
+        Time::seconds(healthy.value() / cost.health)
+    }
+
+    /// Deterministic (noise-free) transfer time for one message.
+    pub fn message_time(&self, from: NodeId, to: NodeId, bytes: Bytes) -> Time {
+        self.message_time_with(&self.path_cost(from, to), bytes)
     }
 
     /// Measured transfer time: deterministic cost plus dynamic-contention
@@ -132,7 +193,15 @@ impl<T: Topology> Network<T> {
 
     /// The full node-pair bandwidth map at one message size (Fig. 4):
     /// `map[sender][receiver]` in GB/s. The diagonal (self-pairs) is 0.
-    pub fn pairwise_bandwidth_map(&self, bytes: Bytes, rng: &mut Pcg32) -> Vec<Vec<f64>> {
+    ///
+    /// Prices every ordered pair, so the memoized routing table is built
+    /// first; the RNG consumption stays strictly sequential, keeping the
+    /// map bit-identical to the pre-table implementation.
+    pub fn pairwise_bandwidth_map(&self, bytes: Bytes, rng: &mut Pcg32) -> Vec<Vec<f64>>
+    where
+        T: Sync,
+    {
+        self.routing_table();
         let n = self.topo.nodes();
         let mut map = vec![vec![0.0; n]; n];
         for (s, row) in map.iter_mut().enumerate() {
@@ -232,6 +301,40 @@ mod tests {
         let same_leaf = net.message_time(NodeId(0), NodeId(3), Bytes::kib(1.0));
         let cross = net.message_time(NodeId(0), NodeId(40), Bytes::kib(1.0));
         assert!(same_leaf < cross);
+    }
+
+    #[test]
+    fn path_cost_reuse_matches_direct_calls() {
+        let bad = NodeId(23);
+        let net = cte_net().with_degraded_node(bad, Degradation::receive_fault(0.1));
+        for (a, b) in [(0usize, 0usize), (0, 1), (5, 23), (23, 5), (0, 180)] {
+            let (a, b) = (NodeId(a), NodeId(b));
+            let cost = net.path_cost(a, b);
+            for bytes in [0.0, 256.0, 65536.0, 4.0e6] {
+                let direct = net.message_time(a, b, Bytes::new(bytes));
+                let cached = net.message_time_with(&cost, Bytes::new(bytes));
+                assert_eq!(direct, cached, "pair ({a}, {b}) at {bytes} B");
+            }
+        }
+    }
+
+    #[test]
+    fn table_path_is_bit_identical_to_direct_path() {
+        let direct = cte_net();
+        let cached = cte_net();
+        cached.routing_table();
+        for (a, b) in [(0usize, 1usize), (0, 100), (37, 154), (191, 0)] {
+            let (a, b) = (NodeId(a), NodeId(b));
+            for bytes in [256.0, 65536.0, 8.0e6] {
+                let td = direct.message_time(a, b, Bytes::new(bytes));
+                let tc = cached.message_time(a, b, Bytes::new(bytes));
+                assert_eq!(
+                    td.value().to_bits(),
+                    tc.value().to_bits(),
+                    "table lookup must not perturb the time model"
+                );
+            }
+        }
     }
 
     #[test]

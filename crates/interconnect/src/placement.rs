@@ -7,6 +7,7 @@
 //! topology-awareness buys.
 
 use crate::topology::{NodeId, Topology};
+use rayon::prelude::*;
 use simkit::rng::Pcg32;
 
 /// A placement policy: choose `n` nodes for a job.
@@ -50,18 +51,31 @@ pub fn allocate<T: Topology>(
 
 /// Mean pairwise hop distance of an allocation — the quantity the
 /// topology-aware scheduler minimizes.
-pub fn mean_pairwise_hops<T: Topology>(topo: &T, nodes: &[NodeId]) -> f64 {
+///
+/// The O(n²) pair scan fans out over the rayon pool, one outer node per
+/// task; hop counts accumulate in integers and the per-chunk partials are
+/// combined in chunk order, so the result is bit-identical to the
+/// sequential scan at every thread count. Score large sweeps against a
+/// [`crate::table::RoutingTable`] (itself a [`Topology`]) to make each
+/// `hops` query a flat lookup.
+pub fn mean_pairwise_hops<T: Topology + Sync>(topo: &T, nodes: &[NodeId]) -> f64 {
     if nodes.len() < 2 {
         return 0.0;
     }
-    let mut total = 0usize;
-    let mut pairs = 0usize;
-    for (i, &a) in nodes.iter().enumerate() {
-        for &b in &nodes[i + 1..] {
-            total += topo.hops(a, b);
-            pairs += 1;
-        }
-    }
+    let (total, pairs) = (0..nodes.len())
+        .into_par_iter()
+        .fold(
+            || (0u64, 0u64),
+            |(mut total, mut pairs), i| {
+                let a = nodes[i];
+                for &b in &nodes[i + 1..] {
+                    total += topo.hops(a, b) as u64;
+                    pairs += 1;
+                }
+                (total, pairs)
+            },
+        )
+        .reduce(|| (0, 0), |x, y| (x.0 + y.0, x.1 + y.1));
     total as f64 / pairs as f64
 }
 

@@ -1,0 +1,191 @@
+//! Memoized all-pairs routing metadata: the interconnect fast path.
+//!
+//! Every sweep in the evaluation — mean-pairwise-hops placement scoring,
+//! uniform-traffic link loads, the Fig. 4 node-pair bandwidth map — asks a
+//! topology for `hops(a, b)` and `sharing(a, b)` over millions of pairs.
+//! On [`TofuD`](crate::tofu::TofuD) each of those calls performs two
+//! mixed-radix coordinate decodes (twelve integer divisions); a
+//! [`RoutingTable`] pays that cost once per topology and turns both
+//! queries into flat-array lookups.
+//!
+//! Layout: one `u16` hop count per ordered pair plus one `u16` *sharing
+//! class* per ordered pair indexing a small palette of exact `f64` sharing
+//! factors (real topologies have 2–3 distinct values, so interning them
+//! keeps the table at 4 bytes/pair without rounding the factors — the
+//! time model stays bit-identical). Hop rows are filled in parallel over
+//! the rayon pool; rows are independent, so the result does not depend on
+//! the thread count.
+//!
+//! A `RoutingTable` implements [`Topology`] itself, so any sweep that is
+//! generic over topologies can run against the cached table unchanged.
+
+use crate::topology::{NodeId, Topology};
+use rayon::prelude::*;
+
+/// Flat-array memo of `hops` and `sharing` for every ordered node pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTable {
+    n: usize,
+    name: String,
+    hops: Vec<u16>,
+    class: Vec<u16>,
+    palette: Vec<f64>,
+    diameter: usize,
+}
+
+impl RoutingTable {
+    /// Build the table from any topology. `O(n²)` trait queries, done
+    /// once; hop rows are computed in parallel.
+    ///
+    /// # Panics
+    /// Panics if a hop count exceeds `u16::MAX` or the topology has more
+    /// than `u16::MAX + 1` distinct sharing factors.
+    pub fn build<T: Topology + Sync>(topo: &T) -> Self {
+        let n = topo.nodes();
+        let mut hops = vec![0u16; n * n];
+        hops.par_chunks_mut(n).enumerate().for_each(|(a, row)| {
+            for (b, h) in row.iter_mut().enumerate() {
+                let d = topo.hops(NodeId(a), NodeId(b));
+                assert!(d <= u16::MAX as usize, "hop count {d} overflows u16");
+                *h = d as u16;
+            }
+        });
+        // Sharing factors are interned into a palette so they stay exact
+        // f64s. Discovery is order-dependent, so this pass is sequential;
+        // the palette scan is O(#classes) ≈ 2 per pair.
+        let mut class = vec![0u16; n * n];
+        let mut palette: Vec<f64> = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                let s = topo.sharing(NodeId(a), NodeId(b));
+                let idx = match palette.iter().position(|&p| p == s) {
+                    Some(i) => i,
+                    None => {
+                        palette.push(s);
+                        assert!(
+                            palette.len() <= u16::MAX as usize + 1,
+                            "more than 65536 distinct sharing factors"
+                        );
+                        palette.len() - 1
+                    }
+                };
+                class[a * n + b] = idx as u16;
+            }
+        }
+        let diameter = hops.iter().copied().max().unwrap_or(0) as usize;
+        Self {
+            n,
+            name: format!("{} (cached)", topo.name()),
+            hops,
+            class,
+            palette,
+            diameter,
+        }
+    }
+
+    /// Hop count of the ordered pair, as a flat lookup.
+    #[inline]
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        self.hops[a.index() * self.n + b.index()] as usize
+    }
+
+    /// Sharing factor of the ordered pair, as a flat lookup.
+    #[inline]
+    pub fn sharing(&self, a: NodeId, b: NodeId) -> f64 {
+        self.palette[self.class[a.index() * self.n + b.index()] as usize]
+    }
+
+    /// Number of nodes the table covers.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The distinct sharing factors seen while building.
+    pub fn sharing_classes(&self) -> &[f64] {
+        &self.palette
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.hops.len() * 2 + self.class.len() * 2 + self.palette.len() * 8
+    }
+}
+
+impl Topology for RoutingTable {
+    fn nodes(&self) -> usize {
+        self.n
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        RoutingTable::hops(self, a, b)
+    }
+
+    fn sharing(&self, a: NodeId, b: NodeId) -> f64 {
+        RoutingTable::sharing(self, a, b)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn diameter(&self) -> usize {
+        self.diameter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTree;
+    use crate::tofu::TofuD;
+
+    #[test]
+    fn table_agrees_with_tofu_direct() {
+        let t = TofuD::cte_arm();
+        let table = RoutingTable::build(&t);
+        assert_eq!(table.nodes(), 192);
+        for a in (0..192).step_by(5) {
+            for b in (0..192).step_by(7) {
+                let (a, b) = (NodeId(a), NodeId(b));
+                assert_eq!(table.hops(a, b), t.hops(a, b));
+                assert_eq!(table.sharing(a, b), t.sharing(a, b));
+            }
+        }
+        assert_eq!(Topology::diameter(&table), t.diameter());
+        assert_eq!(table.sharing_classes(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_agrees_with_fattree_direct() {
+        let t = FatTree::with_geometry(96, 32, 2.0);
+        let table = RoutingTable::build(&t);
+        for a in 0..96 {
+            for b in 0..96 {
+                let (a, b) = (NodeId(a), NodeId(b));
+                assert_eq!(table.hops(a, b), t.hops(a, b));
+                assert_eq!(table.sharing(a, b), t.sharing(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_a_topology() {
+        let t = TofuD::cte_arm();
+        let table = RoutingTable::build(&t);
+        // Generic sweeps run against the cached table unchanged.
+        let nodes: Vec<NodeId> = (0..24).map(NodeId).collect();
+        let direct = crate::placement::mean_pairwise_hops(&t, &nodes);
+        let cached = crate::placement::mean_pairwise_hops(&table, &nodes);
+        assert_eq!(direct.to_bits(), cached.to_bits());
+        assert!(table.name().contains("TofuD"));
+    }
+
+    #[test]
+    fn memory_footprint_is_four_bytes_per_pair() {
+        let t = TofuD::cte_arm();
+        let table = RoutingTable::build(&t);
+        let pairs = 192 * 192;
+        assert!(table.memory_bytes() >= 4 * pairs);
+        assert!(table.memory_bytes() < 4 * pairs + 64);
+    }
+}

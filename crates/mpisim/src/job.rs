@@ -6,7 +6,7 @@ use crate::trace::{Activity, Trace};
 use arch::compiler::Compiler;
 use arch::cost::{CostModel, KernelProfile};
 use arch::machines::Machine;
-use interconnect::network::Network;
+use interconnect::network::{Network, PathCost};
 use interconnect::topology::{NodeId, Topology};
 use simkit::rng::Pcg32;
 use simkit::time::VirtualClock;
@@ -37,6 +37,9 @@ pub struct Job<'a, T: Topology> {
     /// Cached farthest pair of allocated nodes: the conservative
     /// representative route for collective stages.
     far_pair: (NodeId, NodeId),
+    /// Resolved route cost of `far_pair`, cached at launch so every
+    /// collective stage prices its messages without re-routing.
+    far_cost: PathCost,
     trace: Option<Trace>,
 }
 
@@ -51,6 +54,7 @@ impl<'a, T: Topology> Job<'a, T> {
     ) -> Self {
         let n = layout.n_ranks();
         let far_pair = Self::farthest_pair(network, &layout);
+        let far_cost = network.path_cost(far_pair.0, far_pair.1);
         Self {
             machine,
             compiler,
@@ -61,6 +65,7 @@ impl<'a, T: Topology> Job<'a, T> {
             algo: CollectiveAlgo::Auto,
             imbalance_sigma: 0.03,
             far_pair,
+            far_cost,
             trace: None,
         }
     }
@@ -119,6 +124,12 @@ impl<'a, T: Topology> Job<'a, T> {
         &self.layout
     }
 
+    /// The farthest pair of allocated nodes — the representative route
+    /// whose cached cost prices every collective stage.
+    pub fn far_pair(&self) -> (NodeId, NodeId) {
+        self.far_pair
+    }
+
     /// The job's elapsed time so far: the latest rank clock.
     pub fn elapsed(&self) -> Time {
         self.clocks
@@ -167,10 +178,12 @@ impl<'a, T: Topology> Job<'a, T> {
         }
     }
 
-    /// Representative point-to-point time across the allocation (worst pair).
+    /// Representative point-to-point time across the allocation (worst
+    /// pair). Collective stages call this once per stage with varying
+    /// sizes, so the route cost comes from the cached [`PathCost`] rather
+    /// than re-resolving `far_pair` each time.
     fn inter_node_ptp(&self, bytes: Bytes) -> Time {
-        self.network
-            .message_time(self.far_pair.0, self.far_pair.1, bytes)
+        self.network.message_time_with(&self.far_cost, bytes)
     }
 
     /// Intra-node (shared-memory) point-to-point time.
@@ -671,6 +684,39 @@ mod tests {
         job.compute(&KernelProfile::dp("work", 1e10, 1e9));
         job.allreduce(Bytes::kib(64.0));
         assert!(job.elapsed().value() > 0.0);
+    }
+
+    #[test]
+    fn cached_route_cost_is_bit_identical_to_rerouting() {
+        // A job on a network with the routing table prebuilt must price
+        // every collective exactly like one that routes through the
+        // topology directly.
+        let (m, c, net) = cte_job(8, 48, 1);
+        let net_cached = Network::new(TofuD::cte_arm(), LinkModel::tofud());
+        net_cached.routing_table();
+        let script = |net: &Network<TofuD>| {
+            let mut job = Job::new(&m, &c, net, layout(&m, 8, 48, 1), 7).with_imbalance(0.0);
+            job.allreduce(Bytes::kib(64.0));
+            job.alltoall(Bytes::kib(4.0));
+            job.bcast(Bytes::mib(1.0));
+            job.elapsed().value()
+        };
+        assert_eq!(script(&net).to_bits(), script(&net_cached).to_bits());
+    }
+
+    #[test]
+    fn far_pair_spans_the_allocation() {
+        let (m, c, net) = cte_job(4, 48, 1);
+        let job = Job::new(&m, &c, &net, layout(&m, 4, 48, 1), 1);
+        let (a, b) = job.far_pair();
+        let topo = net.topology();
+        // The double sweep lands on a pair at least as far apart as any
+        // pair involving node 0.
+        let from_zero = (0..4)
+            .map(|i| topo.hops(NodeId(0), NodeId(i)))
+            .max()
+            .unwrap();
+        assert!(topo.hops(a, b) >= from_zero);
     }
 
     #[test]

@@ -136,7 +136,11 @@ impl<T: Topology> Allocator<T> {
     }
 
     /// Compactness of an allocation: mean pairwise hop distance.
-    pub fn compactness(&self, nodes: &[NodeId]) -> f64 {
+    /// (`Sync` because the pair scan fans out over the rayon pool.)
+    pub fn compactness(&self, nodes: &[NodeId]) -> f64
+    where
+        T: Sync,
+    {
         mean_pairwise_hops(&self.topo, nodes)
     }
 

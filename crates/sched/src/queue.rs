@@ -66,7 +66,7 @@ pub struct Scheduler<T: Topology> {
     backfill: bool,
 }
 
-impl<T: Topology> Scheduler<T> {
+impl<T: Topology + Sync> Scheduler<T> {
     /// Wrap an allocator. `backfill` enables EASY backfill (jobs behind
     /// the queue head may start if they fit right now).
     pub fn new(allocator: Allocator<T>, backfill: bool) -> Self {

@@ -162,6 +162,40 @@ fn full_cg_solve_is_bit_identical_at_1_and_8_threads() {
 }
 
 #[test]
+fn topology_sweeps_are_bit_identical_at_1_2_8_threads() {
+    // The interconnect fast path parallelizes three sweeps: all-pairs
+    // link-load accumulation, mean pairwise hops, and routing-table
+    // construction. All reduce in integers or fill disjoint rows, so
+    // every derived float must match bit-for-bit at any pool width.
+    use interconnect::placement::mean_pairwise_hops;
+    use interconnect::routing::{all_pairs_link_load, all_pairs_loads};
+    use interconnect::table::RoutingTable;
+    use interconnect::tofu::TofuD;
+    use interconnect::topology::{NodeId, Topology};
+
+    let topo = TofuD::cte_arm();
+    let nodes: Vec<NodeId> = (0..topo.nodes()).step_by(3).map(NodeId).collect();
+    let run = |t: usize| {
+        at(t, || {
+            let load = all_pairs_loads(&topo);
+            let (max, mean) = all_pairs_link_load(&topo);
+            let hops = mean_pairwise_hops(&topo, &nodes);
+            let table = RoutingTable::build(&topo);
+            (load, max, mean, hops, table)
+        })
+    };
+    let (load1, max1, mean1, hops1, table1) = run(1);
+    for threads in [2, 8] {
+        let (load, max, mean, hops, table) = run(threads);
+        assert_eq!(load1, load, "link-load sweep diverged at {threads} threads");
+        assert_eq!(max1, max);
+        assert_eq!(mean1.to_bits(), mean.to_bits());
+        assert_eq!(hops1.to_bits(), hops.to_bits());
+        assert_eq!(table1, table, "routing table diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn engine_jobs_and_pool_share_the_core_budget_without_hanging() {
     use cluster_eval::engine::{filter_experiments, run_experiments, Ctx};
     use cluster_eval::experiments::all_experiments;
