@@ -10,11 +10,15 @@
 //!                                   and print the BENCH_host.json snapshot
 //! cluster-eval report [dir]         write all artifacts to <dir> (default ./report)
 //! cluster-eval table4               shortcut for the speedup summary
+//! cluster-eval faults --campaign <name> [--jobs N] [--csv]
+//!                                   run an F-series fault-injection campaign
+//! cluster-eval faults --list        list registered campaigns
 //! ```
 
 use cluster_eval::engine::{filter_experiments, run_experiments, suggestions, Ctx, RunReport};
 use cluster_eval::experiments::{all_experiments, run};
 use cluster_eval::extensions::{extension_experiments, run_extension};
+use cluster_eval::faults::{campaign, campaigns, run_campaign};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -22,7 +26,9 @@ fn usage() -> ExitCode {
         "usage:\n  cluster-eval list\n  cluster-eval run <id> [--csv]\n  \
          cluster-eval run --all [--jobs N] [--filter GLOB]\n  \
          cluster-eval bench-all [--csv|--json]\n  \
-         cluster-eval report [dir]\n  cluster-eval table4\n  cluster-eval validate"
+         cluster-eval report [dir]\n  cluster-eval table4\n  cluster-eval validate\n  \
+         cluster-eval faults --campaign <name> [--jobs N] [--csv]\n  \
+         cluster-eval faults --list"
     );
     ExitCode::from(2)
 }
@@ -157,6 +163,76 @@ fn bench_all(csv: bool, json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_faults(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--list") {
+        println!("fault campaigns:");
+        for c in campaigns() {
+            println!("  {:10} {}", c.name, c.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut jobs = 1usize;
+    let mut name: Option<String> = None;
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--campaign" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--campaign needs a name");
+                    return usage();
+                };
+                name = Some(v.clone());
+            }
+            "--jobs" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--jobs needs a value");
+                    return usage();
+                };
+                match v.parse::<usize>() {
+                    Ok(j) if j >= 1 => jobs = j,
+                    _ => {
+                        eprintln!("bad --jobs value '{v}'");
+                        return usage();
+                    }
+                }
+            }
+            "--csv" => csv = true,
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("faults needs --campaign <name> (or --list)");
+        return usage();
+    };
+    let Some(c) = campaign(&name) else {
+        let known: Vec<&str> = campaigns().iter().map(|c| c.name).collect();
+        eprintln!("unknown campaign '{name}' — known: {}", known.join(", "));
+        return ExitCode::FAILURE;
+    };
+    let ctx = Ctx::new();
+    let report = run_campaign(&ctx, &c, jobs);
+    let artifact = report.artifact();
+    print!(
+        "{}",
+        if csv {
+            artifact.to_csv()
+        } else {
+            artifact.to_text()
+        }
+    );
+    let misses = report.trials.iter().filter(|t| !t.fingerprint_hit).count();
+    if misses == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{misses} trial(s) failed to fingerprint their injected nodes");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -215,6 +291,7 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("faults") => run_faults(&args[1..]),
         Some("table4") => {
             let a = run("table4").expect("table4 is registered");
             print!("{}", a.to_text());

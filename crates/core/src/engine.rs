@@ -197,6 +197,36 @@ pub fn run_experiments(experiments: Vec<Experiment>, jobs: usize, ctx: &Ctx) -> 
         .collect()
 }
 
+/// Run `count` independent tasks on up to `jobs` worker threads and return
+/// their results in index order. The work-queue order is a simple atomic
+/// counter, but because results land in their own slots and every task must
+/// be a pure function of its index, the output is byte-identical at any
+/// `jobs` — the property the fault-campaign driver pins in its goldens.
+/// Like [`run_experiments`], the worker count is registered with the kernel
+/// runtime so tasks × pool threads never oversubscribe the core budget.
+pub fn run_indexed<R: Send>(count: usize, jobs: usize, task: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let jobs = jobs.max(1).min(count.max(1));
+    let _pool_budget = rayon::reserve_drivers(jobs);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                *slots[i].lock().expect("slot lock") = Some(task(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock").expect("task ran"))
+        .collect()
+}
+
 /// Filter a registry by a `--filter` glob (or pass everything when `None`).
 pub fn filter_experiments(experiments: Vec<Experiment>, filter: Option<&str>) -> Vec<Experiment> {
     match filter {

@@ -25,6 +25,7 @@
 pub mod engine;
 pub mod experiments;
 pub mod extensions;
+pub mod faults;
 pub mod hostbench;
 pub mod report;
 pub mod speedup;
@@ -33,5 +34,6 @@ pub mod validation;
 pub use engine::{run_experiments, Ctx, RunReport};
 pub use experiments::{all_experiments, run, Artifact, Experiment};
 pub use extensions::{extension_experiments, run_extension};
+pub use faults::{campaign, campaigns, run_campaign, Campaign, CampaignReport};
 pub use speedup::speedup_table;
 pub use validation::validation_report;

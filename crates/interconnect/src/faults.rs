@@ -1,0 +1,407 @@
+//! Deterministic, seed-driven fault plans for the interconnect layer.
+//!
+//! A [`FaultPlan`] is a labelled list of [`Fault`]s that can be applied to a
+//! [`Network`] (bandwidth degradation, link latency, transient retransmits,
+//! hard failure) or consumed by higher layers (`mpisim` applies
+//! [`Fault::Slowdown`] to per-rank compute, `sched` drains
+//! [`Fault::Failure`] nodes). Plans are either hand-written — the paper's
+//! degraded node `arms0b1-11c` is `Fault::Degrade` on node 18 with
+//! `rx_factor` 0.08 — or generated from a [`FaultSpec`] through
+//! `simkit::rng`, so a campaign seed fully determines every injected node
+//! and severity regardless of thread count or job parallelism.
+
+use crate::network::{Degradation, Network};
+use crate::topology::{NodeId, Topology};
+use simkit::rng::Pcg32;
+use simkit::units::Time;
+
+/// One injected fault. Severity conventions follow the underlying model:
+/// degradation factors are `(0, 1]` bandwidth multipliers, slowdown factors
+/// are `(0, 1]` *remaining compute speed* (0.5 = node runs at half speed).
+#[derive(Debug, Clone, Copy)]
+pub enum Fault {
+    /// Asymmetric per-node bandwidth degradation (the paper's Fig. 4 node).
+    Degrade {
+        /// The degraded node.
+        node: NodeId,
+        /// Receive/send bandwidth multipliers.
+        degradation: Degradation,
+    },
+    /// A mis-trained link lane: fixed extra latency on every transfer
+    /// touching the node.
+    LinkLatency {
+        /// The faulty node.
+        node: NodeId,
+        /// Extra latency per transfer attempt.
+        extra: Time,
+    },
+    /// Transient packet loss with timeout/backoff, folded analytically into
+    /// expected cost (see `Network::with_retransmit_fault`).
+    Retransmit {
+        /// The lossy node.
+        node: NodeId,
+        /// Per-attempt drop probability, `[0, 1)`.
+        drop_prob: f64,
+        /// Retry timeout charged per expected drop.
+        timeout: Time,
+    },
+    /// CMG throttling: the node's compute runs at `factor` of full speed.
+    /// Invisible to the network; `mpisim::Job` stretches compute chunks.
+    Slowdown {
+        /// The throttled node.
+        node: NodeId,
+        /// Remaining compute speed, `(0, 1]`.
+        factor: f64,
+    },
+    /// Hard node failure: transfers never complete, the scheduler drains
+    /// the node, `mpisim` refuses to place ranks on it.
+    Failure {
+        /// The dead node.
+        node: NodeId,
+    },
+}
+
+impl Fault {
+    /// The node this fault is attached to.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Fault::Degrade { node, .. }
+            | Fault::LinkLatency { node, .. }
+            | Fault::Retransmit { node, .. }
+            | Fault::Slowdown { node, .. }
+            | Fault::Failure { node } => node,
+        }
+    }
+
+    /// Whether a network-side probe (ping-pong map, all-to-all drain) can
+    /// observe this fault. Pure compute slowdowns cannot be seen on the
+    /// wire.
+    pub fn network_visible(&self) -> bool {
+        !matches!(self, Fault::Slowdown { .. })
+    }
+
+    /// Validate severity parameters, panicking on construction bugs. The
+    /// `Network` builders repeat these checks; validating here too means a
+    /// bad plan fails at definition time, not at injection time.
+    fn validate(&self) {
+        match *self {
+            Fault::Degrade { degradation, .. } => {
+                // Round-trips through the validated constructor.
+                let _ = Degradation::new(degradation.rx_factor, degradation.tx_factor);
+            }
+            Fault::LinkLatency { extra, .. } => {
+                assert!(extra.value() >= 0.0, "link-fault latency must be ≥ 0");
+            }
+            Fault::Retransmit {
+                drop_prob, timeout, ..
+            } => {
+                assert!(
+                    (0.0..1.0).contains(&drop_prob),
+                    "drop probability must be in [0, 1), got {drop_prob}"
+                );
+                assert!(timeout.value() >= 0.0, "retransmit timeout must be ≥ 0");
+            }
+            Fault::Slowdown { factor, .. } => {
+                assert!(
+                    factor > 0.0 && factor <= 1.0,
+                    "slowdown factor must be in (0, 1], got {factor}"
+                );
+            }
+            Fault::Failure { .. } => {}
+        }
+    }
+
+    /// A short human-readable description, used in campaign reports.
+    pub fn describe(&self) -> String {
+        match *self {
+            Fault::Degrade { node, degradation } => format!(
+                "degrade n{} rx={:.3} tx={:.3}",
+                node.index(),
+                degradation.rx_factor,
+                degradation.tx_factor
+            ),
+            Fault::LinkLatency { node, extra } => {
+                format!("link-lat n{} +{:.1}us", node.index(), extra.as_micros())
+            }
+            Fault::Retransmit {
+                node,
+                drop_prob,
+                timeout,
+            } => format!(
+                "retransmit n{} q={:.3} to={:.1}us",
+                node.index(),
+                drop_prob,
+                timeout.as_micros()
+            ),
+            Fault::Slowdown { node, factor } => {
+                format!("slowdown n{} x{:.3}", node.index(), factor)
+            }
+            Fault::Failure { node } => format!("failure n{}", node.index()),
+        }
+    }
+}
+
+/// How many faults of each kind a generated plan should contain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultSpec {
+    /// Bandwidth-degraded nodes.
+    pub degraded: usize,
+    /// Nodes with fixed extra link latency.
+    pub link_latency: usize,
+    /// Nodes with transient packet loss.
+    pub retransmit: usize,
+    /// Compute-throttled nodes.
+    pub slowdown: usize,
+    /// Hard-failed nodes.
+    pub failures: usize,
+}
+
+impl FaultSpec {
+    /// Total number of faults (= distinct nodes) the spec requests.
+    pub fn total(&self) -> usize {
+        self.degraded + self.link_latency + self.retransmit + self.slowdown + self.failures
+    }
+}
+
+/// A labelled, ordered list of faults — the unit a campaign trial injects.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Human-readable plan label (shows up in campaign tables).
+    pub label: String,
+    /// The faults, in injection order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty (healthy-baseline) plan.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Append a fault, validating its parameters immediately.
+    pub fn with(mut self, fault: Fault) -> Self {
+        fault.validate();
+        self.faults.push(fault);
+        self
+    }
+
+    /// Generate a plan from a spec: faulty nodes are drawn without
+    /// replacement via a seeded shuffle and severities are drawn from fixed
+    /// uniform ranges, all through one `Pcg32` stream — the (nodes, spec,
+    /// seed) triple fully determines the plan.
+    ///
+    /// # Panics
+    /// Panics if the spec requests more faults than there are nodes.
+    pub fn generate(label: impl Into<String>, nodes: usize, spec: &FaultSpec, seed: u64) -> Self {
+        assert!(
+            spec.total() <= nodes,
+            "spec wants {} faulty nodes but the machine has {nodes}",
+            spec.total()
+        );
+        let mut rng = Pcg32::new(seed, 0xFA17);
+        let mut ids: Vec<usize> = (0..nodes).collect();
+        rng.shuffle(&mut ids);
+        let mut next = ids.into_iter().map(NodeId);
+        let mut plan = Self::new(label);
+        for _ in 0..spec.degraded {
+            plan = plan.with(Fault::Degrade {
+                node: next.next().unwrap(),
+                degradation: Degradation::receive_fault(rng.uniform(0.05, 0.3)),
+            });
+        }
+        for _ in 0..spec.link_latency {
+            plan = plan.with(Fault::LinkLatency {
+                node: next.next().unwrap(),
+                extra: Time::micros(rng.uniform(2.0, 20.0)),
+            });
+        }
+        for _ in 0..spec.retransmit {
+            plan = plan.with(Fault::Retransmit {
+                node: next.next().unwrap(),
+                drop_prob: rng.uniform(0.05, 0.3),
+                timeout: Time::micros(rng.uniform(10.0, 100.0)),
+            });
+        }
+        for _ in 0..spec.slowdown {
+            plan = plan.with(Fault::Slowdown {
+                node: next.next().unwrap(),
+                factor: rng.uniform(0.3, 0.8),
+            });
+        }
+        for _ in 0..spec.failures {
+            plan = plan.with(Fault::Failure {
+                node: next.next().unwrap(),
+            });
+        }
+        plan
+    }
+
+    /// Inject every network-side fault into `net`. Compute slowdowns are
+    /// skipped here — they belong to the `mpisim` layer.
+    pub fn apply<T: Topology>(&self, net: Network<T>) -> Network<T> {
+        self.faults.iter().fold(net, |net, fault| {
+            fault.validate();
+            match *fault {
+                Fault::Degrade { node, degradation } => net.with_degraded_node(node, degradation),
+                Fault::LinkLatency { node, extra } => net.with_link_fault(node, extra),
+                Fault::Retransmit {
+                    node,
+                    drop_prob,
+                    timeout,
+                } => net.with_retransmit_fault(node, drop_prob, timeout),
+                Fault::Slowdown { .. } => net,
+                Fault::Failure { node } => net.with_failed_node(node),
+            }
+        })
+    }
+
+    /// Hard-failed nodes, in plan order.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Failure { node } => Some(*node),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(node, remaining-speed)` pairs for compute slowdowns, in plan order.
+    pub fn slowdowns(&self) -> Vec<(NodeId, f64)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::Slowdown { node, factor } => Some((node, factor)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The nodes a network-side detector could legitimately fingerprint
+    /// (everything except pure compute slowdowns), deduplicated, id order.
+    pub fn injected_network_nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<usize> = self
+            .faults
+            .iter()
+            .filter(|f| f.network_visible())
+            .map(|f| f.node().index())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(NodeId).collect()
+    }
+
+    /// One-line description of the plan: label plus each fault.
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return format!("{}: healthy", self.label);
+        }
+        let parts: Vec<String> = self.faults.iter().map(Fault::describe).collect();
+        format!("{}: {}", self.label, parts.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkModel;
+    use crate::tofu::TofuD;
+    use simkit::units::Bytes;
+
+    fn cte_net() -> Network<TofuD> {
+        Network::new(TofuD::cte_arm(), LinkModel::tofud())
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_nodes_are_distinct() {
+        let spec = FaultSpec {
+            degraded: 2,
+            link_latency: 2,
+            retransmit: 2,
+            slowdown: 2,
+            failures: 2,
+        };
+        let a = FaultPlan::generate("p", 192, &spec, 42);
+        let b = FaultPlan::generate("p", 192, &spec, 42);
+        assert_eq!(a.describe(), b.describe(), "same seed, same plan");
+        let c = FaultPlan::generate("p", 192, &spec, 43);
+        assert_ne!(a.describe(), c.describe(), "different seed, different plan");
+        let mut nodes: Vec<usize> = a.faults.iter().map(|f| f.node().index()).collect();
+        let before = nodes.len();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(
+            nodes.len(),
+            before,
+            "faulty nodes drawn without replacement"
+        );
+        assert_eq!(a.faults.len(), spec.total());
+    }
+
+    #[test]
+    fn apply_injects_network_faults_and_skips_slowdowns() {
+        let plan = FaultPlan::new("mix")
+            .with(Fault::Degrade {
+                node: NodeId(18),
+                degradation: Degradation::receive_fault(0.08),
+            })
+            .with(Fault::Slowdown {
+                node: NodeId(4),
+                factor: 0.5,
+            })
+            .with(Fault::Failure { node: NodeId(100) });
+        let net = plan.apply(cte_net());
+        assert!(net.is_failed(NodeId(100)));
+        let clean = cte_net();
+        let degraded = net.message_time(NodeId(0), NodeId(18), Bytes::kib(64.0));
+        let healthy = clean.message_time(NodeId(0), NodeId(18), Bytes::kib(64.0));
+        assert!(degraded > healthy, "degrade must slow receives down");
+        // Slowdown on node 4 is invisible to the network.
+        let a = net.message_time(NodeId(0), NodeId(4), Bytes::kib(64.0));
+        let b = clean.message_time(NodeId(0), NodeId(4), Bytes::kib(64.0));
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
+    }
+
+    #[test]
+    fn plan_views_partition_the_faults() {
+        let plan = FaultPlan::new("views")
+            .with(Fault::Slowdown {
+                node: NodeId(7),
+                factor: 0.4,
+            })
+            .with(Fault::Failure { node: NodeId(3) })
+            .with(Fault::LinkLatency {
+                node: NodeId(9),
+                extra: Time::micros(5.0),
+            });
+        assert_eq!(plan.failed_nodes(), vec![NodeId(3)]);
+        assert_eq!(plan.slowdowns(), vec![(NodeId(7), 0.4)]);
+        assert_eq!(
+            plan.injected_network_nodes(),
+            vec![NodeId(3), NodeId(9)],
+            "slowdown-only nodes are not network-visible"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn plans_validate_at_definition_time() {
+        let _ = FaultPlan::new("bad").with(Fault::Slowdown {
+            node: NodeId(0),
+            factor: 1.5,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "faulty nodes but the machine has")]
+    fn generate_rejects_oversized_specs() {
+        let spec = FaultSpec {
+            failures: 5,
+            ..FaultSpec::default()
+        };
+        let _ = FaultPlan::generate("p", 4, &spec, 1);
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod bisection;
 pub mod fattree;
+pub mod faults;
 pub mod hostname;
 pub mod link;
 pub mod network;
@@ -39,6 +40,7 @@ pub mod tofu;
 pub mod topology;
 
 pub use fattree::FatTree;
+pub use faults::{Fault, FaultPlan, FaultSpec};
 pub use link::LinkModel;
 pub use network::{Degradation, Network, PathCost};
 pub use table::RoutingTable;

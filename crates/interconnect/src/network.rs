@@ -23,12 +23,34 @@ pub struct Degradation {
 }
 
 impl Degradation {
-    /// A receive-only fault like the one in the paper.
-    pub fn receive_fault(rx_factor: f64) -> Self {
+    /// A degradation with both factors validated to `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if either factor is outside `(0, 1]` (a factor above 1 would
+    /// model a *faster*-than-healthy endpoint; a factor of 0 or below would
+    /// produce a non-positive effective bandwidth — both are construction
+    /// bugs, not fault models).
+    pub fn new(rx_factor: f64, tx_factor: f64) -> Self {
+        for (name, f) in [("rx_factor", rx_factor), ("tx_factor", tx_factor)] {
+            assert!(
+                f > 0.0 && f <= 1.0,
+                "Degradation {name} must be in (0, 1], got {f}"
+            );
+        }
         Self {
             rx_factor,
-            tx_factor: 1.0,
+            tx_factor,
         }
+    }
+
+    /// A receive-only fault like the one in the paper.
+    pub fn receive_fault(rx_factor: f64) -> Self {
+        Self::new(rx_factor, 1.0)
+    }
+
+    /// A send-only fault (the mirror image of [`Degradation::receive_fault`]).
+    pub fn send_fault(tx_factor: f64) -> Self {
+        Self::new(1.0, tx_factor)
     }
 }
 
@@ -43,8 +65,14 @@ pub struct PathCost {
     pub hops: usize,
     /// Oversubscription factor of the route.
     pub sharing: f64,
-    /// Bandwidth derate from endpoint health (`tx · rx`).
+    /// Bandwidth derate from endpoint health (`tx · rx`); 0 when either
+    /// endpoint has hard-failed (transfers never complete).
     pub health: f64,
+    /// Fixed extra latency from link faults on either endpoint, seconds.
+    pub extra_s: f64,
+    /// Multiplicative expected-retransmit stretch of the whole transfer,
+    /// ≥ 1 (1 on healthy paths).
+    pub stretch: f64,
     /// True when sender and receiver are the same node (shared-memory
     /// copy, not a network transfer).
     pub local: bool,
@@ -59,6 +87,15 @@ pub struct Network<T: Topology> {
     /// instead of two hash probes.
     deg_tx: Vec<f64>,
     deg_rx: Vec<f64>,
+    /// Additive per-endpoint latency from link faults (mis-trained lanes),
+    /// seconds; 0 = healthy.
+    extra_lat: Vec<f64>,
+    /// Multiplicative expected-retransmit stretch per endpoint, ≥ 1
+    /// (transient packet loss with timeout/backoff, folded analytically so
+    /// sweeps stay deterministic); 1 = healthy.
+    retry_stretch: Vec<f64>,
+    /// Hard-failed nodes: transfers touching them never complete.
+    failed: Vec<bool>,
     /// Lognormal sigma of dynamic-contention noise for messages ≥ 1 MiB.
     /// The paper observes high run-to-run variability only above 2^20 B.
     large_msg_noise: f64,
@@ -75,17 +112,89 @@ impl<T: Topology> Network<T> {
             link,
             deg_tx: vec![1.0; n],
             deg_rx: vec![1.0; n],
+            extra_lat: vec![0.0; n],
+            retry_stretch: vec![1.0; n],
+            failed: vec![false; n],
             large_msg_noise: 0.25,
             table: OnceLock::new(),
         }
     }
 
     /// Mark a node as degraded.
+    ///
+    /// # Panics
+    /// Panics if either factor is outside `(0, 1]` — the same guard as
+    /// [`Degradation::new`], repeated here because the struct's fields are
+    /// public and could have been set directly.
     pub fn with_degraded_node(mut self, node: NodeId, d: Degradation) -> Self {
         check_node(&self.topo, node);
+        for (name, f) in [("rx_factor", d.rx_factor), ("tx_factor", d.tx_factor)] {
+            assert!(
+                f > 0.0 && f <= 1.0,
+                "Degradation {name} must be in (0, 1], got {f}"
+            );
+        }
         self.deg_tx[node.index()] = d.tx_factor;
         self.deg_rx[node.index()] = d.rx_factor;
         self
+    }
+
+    /// Add fixed extra latency to every transfer touching `node` (a
+    /// mis-trained link lane). Additive with any previous link fault.
+    ///
+    /// # Panics
+    /// Panics on negative latency.
+    pub fn with_link_fault(mut self, node: NodeId, extra: Time) -> Self {
+        check_node(&self.topo, node);
+        assert!(extra.value() >= 0.0, "link-fault latency must be ≥ 0");
+        self.extra_lat[node.index()] += extra.value();
+        self
+    }
+
+    /// Model transient packet loss at `node`: each transfer attempt is
+    /// dropped with probability `drop_prob` and retried after `timeout`.
+    /// Folded analytically into an expected-cost stretch (`1/(1−q)` on the
+    /// transfer) plus an expected timeout charge (`q/(1−q) · timeout`), so
+    /// campaigns stay bit-deterministic instead of sampling per message.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ drop_prob < 1` and `timeout ≥ 0`.
+    pub fn with_retransmit_fault(mut self, node: NodeId, drop_prob: f64, timeout: Time) -> Self {
+        check_node(&self.topo, node);
+        assert!(
+            (0.0..1.0).contains(&drop_prob),
+            "drop probability must be in [0, 1), got {drop_prob}"
+        );
+        assert!(timeout.value() >= 0.0, "retransmit timeout must be ≥ 0");
+        let expected_attempts = 1.0 / (1.0 - drop_prob);
+        self.retry_stretch[node.index()] *= expected_attempts;
+        self.extra_lat[node.index()] += drop_prob / (1.0 - drop_prob) * timeout.value();
+        self
+    }
+
+    /// Mark a node as hard-failed: every transfer touching it takes
+    /// infinite time (zero measured bandwidth). The scheduler layer drains
+    /// failed nodes; `mpisim` refuses to place ranks on them.
+    pub fn with_failed_node(mut self, node: NodeId) -> Self {
+        check_node(&self.topo, node);
+        self.failed[node.index()] = true;
+        self
+    }
+
+    /// Whether a node has hard-failed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        check_node(&self.topo, node);
+        self.failed[node.index()]
+    }
+
+    /// All hard-failed nodes, in id order.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| NodeId(i))
+            .collect()
     }
 
     /// Override the large-message noise sigma (0 disables it).
@@ -132,6 +241,8 @@ impl<T: Topology> Network<T> {
                 hops: 0,
                 sharing: 1.0,
                 health: 1.0,
+                extra_s: 0.0,
+                stretch: 1.0,
                 local: true,
             };
         }
@@ -139,10 +250,17 @@ impl<T: Topology> Network<T> {
             Some(t) => (t.hops(from, to), t.sharing(from, to)),
             None => (self.topo.hops(from, to), self.topo.sharing(from, to)),
         };
+        let health = if self.failed[from.index()] || self.failed[to.index()] {
+            0.0
+        } else {
+            self.health_factor(from, to)
+        };
         PathCost {
             hops,
             sharing,
-            health: self.health_factor(from, to),
+            health,
+            extra_s: self.extra_lat[from.index()] + self.extra_lat[to.index()],
+            stretch: self.retry_stretch[from.index()] * self.retry_stretch[to.index()],
             local: false,
         }
     }
@@ -156,9 +274,13 @@ impl<T: Topology> Network<T> {
         }
         // A degraded endpoint (mis-trained lane, faulty DMA engine) forces
         // per-packet retransmits, stretching the whole transfer — latency
-        // and serialization alike — by 1/health.
+        // and serialization alike — by 1/health. Link faults add fixed
+        // latency per attempt and transient loss stretches the expected
+        // total; on healthy paths (`extra_s` 0, `stretch` 1) both terms
+        // are bit-neutral. A failed endpoint (health 0) yields +∞: the
+        // transfer never completes, i.e. zero measured bandwidth.
         let healthy = self.link.message_time(bytes, cost.hops, cost.sharing);
-        Time::seconds(healthy.value() / cost.health)
+        Time::seconds((healthy.value() / cost.health + cost.extra_s) * cost.stretch)
     }
 
     /// Deterministic (noise-free) transfer time for one message.
@@ -332,6 +454,136 @@ mod tests {
                     td.value().to_bits(),
                     tc.value().to_bits(),
                     "table lookup must not perturb the time model"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rx_factor must be in (0, 1]")]
+    fn degradation_rejects_factor_above_one() {
+        // The original bug: receive_fault(1.5) silently produced a
+        // faster-than-healthy endpoint (negative effective degradation).
+        let _ = Degradation::receive_fault(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rx_factor must be in (0, 1]")]
+    fn degradation_rejects_zero_factor() {
+        let _ = Degradation::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tx_factor must be in (0, 1]")]
+    fn degradation_rejects_negative_tx() {
+        let _ = Degradation::new(0.5, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rx_factor must be in (0, 1]")]
+    fn degradation_rejects_nan() {
+        let _ = Degradation::receive_fault(f64::NAN);
+    }
+
+    #[test]
+    fn degradation_accepts_boundary_values() {
+        let d = Degradation::new(1.0, 1.0);
+        assert_eq!((d.rx_factor, d.tx_factor), (1.0, 1.0));
+        let d = Degradation::send_fault(0.001);
+        assert_eq!(d.rx_factor, 1.0);
+        assert_eq!(d.tx_factor, 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn with_degraded_node_validates_direct_struct_literals() {
+        // Fields are public; the builder re-checks them.
+        let _ = cte_net().with_degraded_node(
+            NodeId(0),
+            Degradation {
+                rx_factor: 2.0,
+                tx_factor: 1.0,
+            },
+        );
+    }
+
+    #[test]
+    fn link_fault_adds_latency_to_both_directions() {
+        let bad = NodeId(7);
+        let extra = Time::micros(15.0);
+        let net = cte_net().with_link_fault(bad, extra);
+        let clean = cte_net();
+        for (a, b) in [(NodeId(7), NodeId(50)), (NodeId(50), NodeId(7))] {
+            let t_fault = net.message_time(a, b, Bytes::new(256.0));
+            let t_clean = clean.message_time(a, b, Bytes::new(256.0));
+            assert!(
+                (t_fault.value() - t_clean.value() - extra.value()).abs() < 1e-15,
+                "extra latency must appear verbatim"
+            );
+        }
+        // Unrelated pairs are untouched, bit for bit.
+        let t_fault = net.message_time(NodeId(0), NodeId(50), Bytes::kib(4.0));
+        let t_clean = clean.message_time(NodeId(0), NodeId(50), Bytes::kib(4.0));
+        assert_eq!(t_fault.value().to_bits(), t_clean.value().to_bits());
+    }
+
+    #[test]
+    fn retransmit_fault_stretches_expected_time() {
+        let bad = NodeId(3);
+        // q = 0.5 → expected attempts 2, expected timeout charge 1·timeout.
+        let net = cte_net().with_retransmit_fault(bad, 0.5, Time::micros(10.0));
+        let clean = cte_net();
+        let t_fault = net.message_time(NodeId(0), bad, Bytes::kib(64.0)).value();
+        let t_clean = clean.message_time(NodeId(0), bad, Bytes::kib(64.0)).value();
+        let expected = (t_clean + 10.0e-6) * 2.0;
+        assert!(
+            (t_fault - expected).abs() < 1e-15,
+            "expected {expected}, got {t_fault}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn retransmit_fault_rejects_certain_loss() {
+        let _ = cte_net().with_retransmit_fault(NodeId(0), 1.0, Time::micros(1.0));
+    }
+
+    #[test]
+    fn failed_node_never_completes_a_transfer() {
+        let dead = NodeId(42);
+        let net = cte_net().with_failed_node(dead);
+        assert!(net.is_failed(dead));
+        assert!(!net.is_failed(NodeId(41)));
+        assert_eq!(net.failed_nodes(), vec![dead]);
+        let t = net.message_time(NodeId(0), dead, Bytes::kib(1.0));
+        assert!(t.value().is_infinite(), "transfer to a failed node hangs");
+        let mut rng = Pcg32::seeded(9);
+        let bw = net.measured_bandwidth(dead, NodeId(0), Bytes::kib(1.0), &mut rng);
+        assert_eq!(bw.value(), 0.0, "zero measured bandwidth");
+        // Healthy pairs still price bit-identically to a clean network.
+        let clean = cte_net();
+        let a = net.message_time(NodeId(0), NodeId(1), Bytes::kib(1.0));
+        let b = clean.message_time(NodeId(0), NodeId(1), Bytes::kib(1.0));
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
+    }
+
+    #[test]
+    fn neutral_fault_fields_are_bit_transparent() {
+        // The fault terms ride in the hot per-message formula; with no
+        // faults installed they must not perturb a single bit.
+        let net = cte_net();
+        for (a, b) in [(0usize, 1usize), (0, 100), (37, 154), (191, 0)] {
+            let cost = net.path_cost(NodeId(a), NodeId(b));
+            assert_eq!(cost.extra_s, 0.0);
+            assert_eq!(cost.stretch, 1.0);
+            for bytes in [0.0, 256.0, 65536.0, 8.0e6] {
+                let t = net.message_time_with(&cost, Bytes::new(bytes));
+                let healthy = net
+                    .link
+                    .message_time(Bytes::new(bytes), cost.hops, cost.sharing);
+                assert_eq!(
+                    t.value().to_bits(),
+                    (healthy.value() / cost.health).to_bits()
                 );
             }
         }

@@ -1,0 +1,152 @@
+//! Job-level view of a fault plan: compute slowdowns and failed nodes.
+//!
+//! The interconnect's [`FaultPlan`] carries faults for every layer; this
+//! module extracts the parts `mpisim` consumes. [`JobFaults`] resolves
+//! per-node compute slowdowns (CMG throttling) into per-rank clock
+//! stretches, and guards job placement against hard-failed nodes — a rank
+//! on a dead node would simply never finish, so [`crate::Job::with_faults`]
+//! refuses the layout up front, mirroring what a real scheduler does by
+//! draining the node.
+
+use interconnect::faults::FaultPlan;
+use interconnect::network::Network;
+use interconnect::topology::{NodeId, Topology};
+use simkit::units::{Bytes, Time};
+
+/// The job-visible slice of a fault plan.
+#[derive(Debug, Clone, Default)]
+pub struct JobFaults {
+    /// `(node, remaining-speed)` compute slowdowns; factors in `(0, 1]`.
+    slowdowns: Vec<(NodeId, f64)>,
+    /// Hard-failed nodes a job must not be placed on.
+    failed: Vec<NodeId>,
+}
+
+impl JobFaults {
+    /// No faults: every stretch is exactly 1.0 and placement is unrestricted.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Extract the job-visible faults from a full plan.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        Self {
+            slowdowns: plan.slowdowns(),
+            failed: plan.failed_nodes(),
+        }
+    }
+
+    /// Clock stretch for compute on `node`: the product of `1/factor` over
+    /// every slowdown attached to it (1.0 when healthy). A node at 0.5
+    /// remaining speed runs compute chunks 2× longer.
+    pub fn compute_stretch(&self, node: NodeId) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .fold(1.0, |acc, (_, factor)| acc / factor)
+    }
+
+    /// Whether the plan hard-failed `node`.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// True when the plan carries no job-visible fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.slowdowns.is_empty() && self.failed.is_empty()
+    }
+}
+
+/// Per-node all-to-all drain times at one message size: for each node, the
+/// time to serialize its sends to — and its receives from — every live
+/// peer, whichever direction is slower. This is the paper's all-to-all
+/// detection signature: a receive-degraded node drains its *receive* side
+/// far slower than its sends, and every healthy node sees one slow peer.
+///
+/// Hard-failed nodes never drain (`+∞`); transfers from live nodes simply
+/// skip dead peers, as MPI would after the fault is acked.
+pub fn alltoall_drains<T: Topology>(net: &Network<T>, bytes: Bytes) -> Vec<f64> {
+    let n = net.topology().nodes();
+    (0..n)
+        .map(|s| {
+            let s = NodeId(s);
+            if net.is_failed(s) {
+                return f64::INFINITY;
+            }
+            let mut send = Time::ZERO;
+            let mut recv = Time::ZERO;
+            for r in 0..n {
+                let r = NodeId(r);
+                if r == s || net.is_failed(r) {
+                    continue;
+                }
+                send += net.message_time(s, r, bytes);
+                recv += net.message_time(r, s, bytes);
+            }
+            send.max(recv).value()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interconnect::faults::Fault;
+    use interconnect::link::LinkModel;
+    use interconnect::network::Degradation;
+    use interconnect::tofu::TofuD;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new("t")
+            .with(Fault::Slowdown {
+                node: NodeId(5),
+                factor: 0.5,
+            })
+            .with(Fault::Slowdown {
+                node: NodeId(5),
+                factor: 0.5,
+            })
+            .with(Fault::Failure { node: NodeId(9) })
+    }
+
+    #[test]
+    fn stretch_compounds_and_defaults_to_one() {
+        let jf = JobFaults::from_plan(&plan());
+        assert_eq!(jf.compute_stretch(NodeId(5)), 4.0, "two 0.5 slowdowns");
+        assert_eq!(jf.compute_stretch(NodeId(6)), 1.0);
+        assert!(jf.is_failed(NodeId(9)));
+        assert!(!jf.is_failed(NodeId(5)));
+        assert!(!jf.is_empty());
+        assert!(JobFaults::none().is_empty());
+    }
+
+    #[test]
+    fn drains_flag_the_degraded_receiver() {
+        let bad = NodeId(18);
+        let net = Network::new(TofuD::cte_arm(), LinkModel::tofud())
+            .with_degraded_node(bad, Degradation::receive_fault(0.08));
+        let drains = alltoall_drains(&net, Bytes::kib(64.0));
+        assert_eq!(drains.len(), 192);
+        let worst = drains
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(worst, bad.index(), "receive-degraded node drains slowest");
+    }
+
+    #[test]
+    fn failed_nodes_never_drain_and_peers_skip_them() {
+        let dead = NodeId(40);
+        let net = Network::new(TofuD::cte_arm(), LinkModel::tofud()).with_failed_node(dead);
+        let drains = alltoall_drains(&net, Bytes::kib(4.0));
+        assert!(drains[dead.index()].is_infinite());
+        // Every live node still drains in finite time (dead peer skipped).
+        for (i, d) in drains.iter().enumerate() {
+            if i != dead.index() {
+                assert!(d.is_finite(), "node {i} must skip the dead peer");
+            }
+        }
+    }
+}

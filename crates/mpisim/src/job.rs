@@ -1,6 +1,7 @@
 //! The [`Job`] execution context: runs SPMD programs on virtual clocks.
 
 use crate::collectives::{self, CollectiveAlgo};
+use crate::faults::JobFaults;
 use crate::layout::JobLayout;
 use crate::trace::{Activity, Trace};
 use arch::compiler::Compiler;
@@ -34,6 +35,10 @@ pub struct Job<'a, T: Topology> {
     rng: Pcg32,
     algo: CollectiveAlgo,
     imbalance_sigma: f64,
+    /// Per-rank compute clock stretch from fault-plan slowdowns (CMG
+    /// throttling); 1.0 everywhere on a healthy machine, in which case the
+    /// multiply is bit-neutral.
+    compute_stretch: Vec<f64>,
     /// Cached farthest pair of allocated nodes: the conservative
     /// representative route for collective stages.
     far_pair: (NodeId, NodeId),
@@ -64,6 +69,7 @@ impl<'a, T: Topology> Job<'a, T> {
             rng: Pcg32::seeded(seed),
             algo: CollectiveAlgo::Auto,
             imbalance_sigma: 0.03,
+            compute_stretch: vec![1.0; n],
             far_pair,
             far_cost,
             trace: None,
@@ -92,6 +98,28 @@ impl<'a, T: Topology> Job<'a, T> {
     /// Select the inter-node collective algorithm (default: size-based).
     pub fn with_collective_algo(mut self, algo: CollectiveAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Apply the job-visible slice of a fault plan: ranks on throttled
+    /// nodes run compute chunks `1/factor` slower. Network-side faults are
+    /// not handled here — they live in the `Network` this job already
+    /// prices against.
+    ///
+    /// # Panics
+    /// Panics if any node in the layout is hard-failed (by the plan or the
+    /// network): a rank there would never finish. The scheduler layer is
+    /// responsible for draining failed nodes before placement.
+    pub fn with_faults(mut self, faults: &JobFaults) -> Self {
+        for &node in &self.layout.nodes {
+            assert!(
+                !faults.is_failed(node) && !self.network.is_failed(node),
+                "cannot place ranks on failed node {node}"
+            );
+        }
+        for rank in 0..self.layout.n_ranks() {
+            self.compute_stretch[rank] = faults.compute_stretch(self.layout.node_of(rank));
+        }
         self
     }
 
@@ -167,6 +195,8 @@ impl<'a, T: Topology> Job<'a, T> {
                 ..profile
             };
             let mut t = cm.chunk_time(&per_thread, active);
+            // Fault-plan slowdown: ×1.0 on healthy nodes is bit-neutral.
+            t = Time::seconds(t.value() * self.compute_stretch[rank]);
             if self.imbalance_sigma > 0.0 {
                 t = Time::seconds(t.value() * self.rng.lognormal_noise(self.imbalance_sigma));
             }
@@ -848,6 +878,93 @@ mod tests {
         let (m, c, net) = cte_job(2, 4, 12);
         let mut job = Job::new(&m, &c, &net, layout(&m, 2, 4, 12), 1);
         job.allreduce_among(&[0, 0], Bytes::kib(1.0));
+    }
+
+    #[test]
+    fn slowdown_fault_stretches_compute_on_its_node_only() {
+        use interconnect::faults::{Fault, FaultPlan};
+        let (m, c, net) = cte_job(2, 4, 12);
+        let plan = FaultPlan::new("slow").with(Fault::Slowdown {
+            node: NodeId(1),
+            factor: 0.5,
+        });
+        let jf = crate::faults::JobFaults::from_plan(&plan);
+        let mut job = Job::new(&m, &c, &net, layout(&m, 2, 4, 12), 1)
+            .with_imbalance(0.0)
+            .with_faults(&jf);
+        job.compute(&KernelProfile::dp("w", 1e9, 1e8));
+        let times = job.rank_times();
+        // Ranks 0–3 live on node 0 (healthy), ranks 4–7 on node 1 (×2).
+        assert!(
+            (times[4].value() - 2.0 * times[0].value()).abs() < 1e-12 * times[0].value(),
+            "throttled node runs exactly 2x slower"
+        );
+    }
+
+    #[test]
+    fn empty_faults_are_bit_neutral() {
+        let (m, c, net) = cte_job(4, 48, 1);
+        let script = |job: &mut Job<TofuD>| {
+            job.compute(&KernelProfile::dp("w", 1e9, 1e8));
+            job.allreduce(Bytes::kib(8.0));
+            job.elapsed().value()
+        };
+        let mut plain = Job::new(&m, &c, &net, layout(&m, 4, 48, 1), 42);
+        let mut faulted = Job::new(&m, &c, &net, layout(&m, 4, 48, 1), 42)
+            .with_faults(&crate::faults::JobFaults::none());
+        assert_eq!(
+            script(&mut plain).to_bits(),
+            script(&mut faulted).to_bits(),
+            "JobFaults::none must not perturb a single bit"
+        );
+    }
+
+    #[test]
+    fn any_fault_never_speeds_a_job_up() {
+        use interconnect::faults::{Fault, FaultPlan};
+        use interconnect::network::Degradation;
+        let (m, c, net) = cte_job(4, 48, 1);
+        let plan = FaultPlan::new("mix")
+            .with(Fault::Degrade {
+                node: NodeId(2),
+                degradation: Degradation::receive_fault(0.1),
+            })
+            .with(Fault::Retransmit {
+                node: NodeId(1),
+                drop_prob: 0.2,
+                timeout: Time::micros(30.0),
+            })
+            .with(Fault::Slowdown {
+                node: NodeId(3),
+                factor: 0.6,
+            });
+        let faulty_net = plan.apply(Network::new(TofuD::cte_arm(), LinkModel::tofud()));
+        let jf = crate::faults::JobFaults::from_plan(&plan);
+        let script = |net: &Network<TofuD>, jf: &crate::faults::JobFaults| {
+            let mut job = Job::new(&m, &c, net, layout(&m, 4, 48, 1), 7)
+                .with_imbalance(0.0)
+                .with_faults(jf);
+            job.compute(&KernelProfile::dp("w", 1e9, 1e8));
+            job.allreduce(Bytes::kib(64.0));
+            job.sendrecv(0, 100, Bytes::kib(32.0));
+            job.alltoall(Bytes::kib(4.0));
+            job.elapsed()
+        };
+        let clean = script(&net, &crate::faults::JobFaults::none());
+        let faulty = script(&faulty_net, &jf);
+        assert!(faulty >= clean, "faults cannot reduce makespan");
+        assert!(faulty > clean, "these faults sit on allocated nodes");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place ranks on failed node")]
+    fn placement_on_failed_node_is_refused() {
+        use interconnect::faults::{Fault, FaultPlan};
+        let (m, c, _) = cte_job(2, 4, 12);
+        let plan = FaultPlan::new("dead").with(Fault::Failure { node: NodeId(1) });
+        let net = plan.apply(Network::new(TofuD::cte_arm(), LinkModel::tofud()));
+        let jf = crate::faults::JobFaults::from_plan(&plan);
+        let _ = Job::new(&m, &c, &net, layout(&m, 2, 4, 12), 1).with_faults(&jf);
     }
 
     #[test]

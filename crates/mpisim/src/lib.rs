@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod collectives;
+pub mod faults;
 pub mod job;
 pub mod layout;
 pub mod trace;
 
 pub use collectives::CollectiveAlgo;
+pub use faults::JobFaults;
 pub use job::Job;
 pub use layout::JobLayout;
 pub use trace::{Activity, Trace};

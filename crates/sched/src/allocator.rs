@@ -21,6 +21,10 @@ pub enum AllocationPolicy {
 pub struct Allocator<T: Topology> {
     topo: T,
     free: Vec<bool>,
+    /// Hard-failed (drained) nodes: never eligible for allocation, even
+    /// when free. `free` keeps tracking occupancy independently so a node
+    /// that fails mid-job is still released exactly once.
+    failed: Vec<bool>,
     policy: AllocationPolicy,
     rng: Pcg32,
 }
@@ -32,14 +36,40 @@ impl<T: Topology> Allocator<T> {
         Self {
             topo,
             free: vec![true; n],
+            failed: vec![false; n],
             policy,
             rng: Pcg32::seeded(seed),
         }
     }
 
-    /// Nodes currently free.
+    /// Whether a node may be handed out: free and not drained.
+    fn eligible(&self, i: usize) -> bool {
+        self.free[i] && !self.failed[i]
+    }
+
+    /// Nodes currently allocatable (free and not failed).
     pub fn free_count(&self) -> usize {
-        self.free.iter().filter(|&&f| f).count()
+        (0..self.free.len()).filter(|&i| self.eligible(i)).count()
+    }
+
+    /// Drain a node after a hard failure: it immediately stops being
+    /// allocatable. Returns `true` when the node was allocated at the time
+    /// (the scheduler must kill and requeue whatever job holds it).
+    pub fn fail_node(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.failed.len(), "node out of range");
+        self.failed[i] = true;
+        !self.free[i]
+    }
+
+    /// Whether a node has been drained by [`Allocator::fail_node`].
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed[node.index()]
+    }
+
+    /// Nodes still alive (not drained), allocated or free.
+    pub fn alive_count(&self) -> usize {
+        self.failed.iter().filter(|&&f| !f).count()
     }
 
     /// The topology.
@@ -80,12 +110,10 @@ impl<T: Topology> Allocator<T> {
     }
 
     fn first_fit(&self, count: usize) -> Vec<NodeId> {
-        self.free
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f)
+        (0..self.free.len())
+            .filter(|&i| self.eligible(i))
             .take(count)
-            .map(|(i, _)| NodeId(i))
+            .map(NodeId)
             .collect()
     }
 
@@ -96,9 +124,9 @@ impl<T: Topology> Allocator<T> {
         let mut best: Option<(usize, usize)> = None; // (start, len)
         let mut i = 0;
         while i < n {
-            if self.free[i] {
+            if self.eligible(i) {
                 let start = i;
-                while i < n && self.free[i] {
+                while i < n && self.eligible(i) {
                     i += 1;
                 }
                 let len = i - start;
@@ -122,13 +150,7 @@ impl<T: Topology> Allocator<T> {
     }
 
     fn random_fit(&mut self, count: usize) -> Vec<NodeId> {
-        let mut free: Vec<usize> = self
-            .free
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f)
-            .map(|(i, _)| i)
-            .collect();
+        let mut free: Vec<usize> = (0..self.free.len()).filter(|&i| self.eligible(i)).collect();
         self.rng.shuffle(&mut free);
         let mut picked: Vec<usize> = free.into_iter().take(count).collect();
         picked.sort_unstable();
@@ -153,8 +175,8 @@ impl<T: Topology> Allocator<T> {
         }
         let mut largest = 0usize;
         let mut run = 0usize;
-        for &f in &self.free {
-            if f {
+        for i in 0..self.free.len() {
+            if self.eligible(i) {
                 run += 1;
                 largest = largest.max(run);
             } else {
@@ -239,6 +261,48 @@ mod tests {
         let scattered: Vec<NodeId> = all.iter().copied().step_by(3).collect();
         a.release(&scattered);
         assert!(a.fragmentation() > 0.9, "frag {}", a.fragmentation());
+    }
+
+    #[test]
+    fn failed_nodes_are_drained_from_every_policy() {
+        for policy in [
+            AllocationPolicy::BestFitContiguous,
+            AllocationPolicy::FirstFit,
+            AllocationPolicy::Random,
+        ] {
+            let mut a = alloc(policy);
+            assert!(!a.fail_node(NodeId(0)), "free node: no kill needed");
+            assert!(a.is_failed(NodeId(0)));
+            assert_eq!(a.free_count(), 191);
+            assert_eq!(a.alive_count(), 191);
+            let got = a.allocate(191).expect("all live nodes fit");
+            assert!(
+                !got.contains(&NodeId(0)),
+                "{policy:?} must never hand out a failed node"
+            );
+            assert!(a.allocate(1).is_none(), "only the dead node remains");
+        }
+    }
+
+    #[test]
+    fn failing_an_allocated_node_reports_the_kill() {
+        let mut a = alloc(AllocationPolicy::FirstFit);
+        let nodes = a.allocate(4).expect("fits");
+        assert!(a.fail_node(nodes[2]), "node was allocated: job must die");
+        // The release path still works once, and the node stays drained.
+        a.release(&nodes);
+        assert_eq!(a.free_count(), 191);
+        assert_eq!(a.alive_count(), 191);
+    }
+
+    #[test]
+    fn fragmentation_ignores_failed_nodes() {
+        let mut a = alloc(AllocationPolicy::FirstFit);
+        // One dead node in the middle splits the free run, but the metric
+        // tracks *allocatable* space.
+        let _ = a.fail_node(NodeId(96));
+        assert!(a.fragmentation() > 0.0, "dead node splits the run");
+        assert_eq!(a.free_count(), 191);
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod queue;
 pub mod workload;
 
 pub use allocator::{AllocationPolicy, Allocator};
-pub use queue::{JobRequest, JobState, Scheduler, SchedulerStats};
+pub use queue::{JobRequest, JobState, NodeFailure, Scheduler, SchedulerStats};
 pub use workload::WorkloadSpec;

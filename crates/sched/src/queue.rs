@@ -18,6 +18,17 @@ pub struct JobRequest {
     pub submit: Time,
 }
 
+/// A hard node failure injected into a scheduler run: at `at`, `node`
+/// drains from the allocator and any job running on it is killed and
+/// requeued (the degrade-gracefully contract).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeFailure {
+    /// The failing node.
+    pub node: NodeId,
+    /// When it fails.
+    pub at: Time,
+}
+
 /// Lifecycle of a job inside the scheduler.
 #[derive(Debug, Clone)]
 pub struct JobState {
@@ -31,6 +42,11 @@ pub struct JobState {
     pub allocation: Vec<NodeId>,
     /// Mean pairwise hops of the allocation (compactness at start).
     pub compactness: f64,
+    /// How many times a node failure killed this job back into the queue.
+    pub requeues: u32,
+    /// True when failures shrank the cluster below the job's request and
+    /// it could never be (re)placed.
+    pub abandoned: bool,
 }
 
 impl JobState {
@@ -51,12 +67,21 @@ pub struct SchedulerStats {
     pub mean_compactness: f64,
     /// Node-time utilization in `[0, 1]`.
     pub utilization: f64,
+    /// Nodes that hard-failed during the run.
+    pub failed_nodes: usize,
+    /// Job kills caused by node failures (each adds one requeue).
+    pub requeued: usize,
+    /// Jobs that could never be placed after failures shrank the cluster.
+    pub abandoned: usize,
 }
 
-/// Scheduler events.
+/// Scheduler events. `Finish` carries the job's dispatch epoch: a node
+/// failure that kills the job bumps its epoch, turning the already-queued
+/// completion event into a stale no-op (the event queue has no cancel).
 enum Event {
     Submit(usize),
-    Finish(usize),
+    Finish(usize, u64),
+    Fail(NodeId),
 }
 
 /// A FCFS + EASY-backfill scheduler over an allocator.
@@ -82,7 +107,25 @@ impl<T: Topology + Sync> Scheduler<T> {
     /// # Panics
     /// Panics if any request exceeds the cluster or has a non-positive
     /// duration.
-    pub fn run(mut self, mut requests: Vec<JobRequest>) -> (Vec<JobState>, SchedulerStats) {
+    pub fn run(self, requests: Vec<JobRequest>) -> (Vec<JobState>, SchedulerStats) {
+        self.run_with_failures(requests, Vec::new())
+    }
+
+    /// Run a workload through a sequence of hard node failures. At each
+    /// failure time the node drains from the allocator; a job running on
+    /// it is killed, loses its progress, and is requeued in FCFS order
+    /// (ties broken by submission). Jobs that can never fit on the
+    /// shrunken cluster are abandoned rather than wedging the queue — the
+    /// scheduler degrades gracefully instead of erroring.
+    ///
+    /// # Panics
+    /// Panics if any request exceeds the cluster, has a non-positive
+    /// duration, or a failure names a node outside the topology.
+    pub fn run_with_failures(
+        mut self,
+        mut requests: Vec<JobRequest>,
+        failures: Vec<NodeFailure>,
+    ) -> (Vec<JobState>, SchedulerStats) {
         let cluster = self.allocator.topology().nodes();
         for r in &requests {
             assert!(
@@ -93,6 +136,9 @@ impl<T: Topology + Sync> Scheduler<T> {
             );
             assert!(r.duration > Time::ZERO, "job {} has no duration", r.id);
         }
+        for f in &failures {
+            assert!(f.node.index() < cluster, "failure names an unknown node");
+        }
         requests.sort_by(|a, b| a.submit.partial_cmp(&b.submit).expect("finite times"));
         self.jobs = requests
             .iter()
@@ -102,25 +148,87 @@ impl<T: Topology + Sync> Scheduler<T> {
                 end: None,
                 allocation: Vec::new(),
                 compactness: 0.0,
+                requeues: 0,
+                abandoned: false,
             })
             .collect();
 
         let mut queue: Vec<usize> = Vec::new(); // waiting, FCFS order
+        let mut epochs: Vec<u64> = vec![0; requests.len()];
         let mut events: EventQueue<Event> = EventQueue::new();
         for (idx, r) in requests.iter().enumerate() {
             events.schedule_at(r.submit, Event::Submit(idx));
         }
+        for f in &failures {
+            events.schedule_at(f.at, Event::Fail(f.node));
+        }
 
         let mut busy_node_time = 0.0;
+        let mut failed_nodes = 0usize;
+        let mut requeued = 0usize;
+        let mut abandoned = 0usize;
         while let Some((now, ev)) = events.pop() {
             match ev {
-                Event::Submit(idx) => queue.push(idx),
-                Event::Finish(idx) => {
+                Event::Submit(idx) => {
+                    if self.jobs[idx].request.nodes > self.allocator.alive_count() {
+                        self.jobs[idx].abandoned = true;
+                        abandoned += 1;
+                    } else {
+                        queue.push(idx);
+                    }
+                }
+                Event::Finish(idx, epoch) => {
+                    if epoch != epochs[idx] {
+                        // Stale completion of a run a node failure killed.
+                        continue;
+                    }
                     let alloc = std::mem::take(&mut self.jobs[idx].allocation);
                     busy_node_time += alloc.len() as f64 * self.jobs[idx].request.duration.value();
                     self.allocator.release(&alloc);
                     self.jobs[idx].allocation = alloc;
                     self.jobs[idx].end = Some(now);
+                }
+                Event::Fail(node) => {
+                    let was_allocated = self.allocator.fail_node(node);
+                    failed_nodes += 1;
+                    if was_allocated {
+                        let idx = self
+                            .jobs
+                            .iter()
+                            .position(|j| {
+                                j.start.is_some() && j.end.is_none() && j.allocation.contains(&node)
+                            })
+                            .expect("an allocated node belongs to a running job");
+                        // Kill: bill the partial work, free the nodes,
+                        // invalidate the pending Finish, requeue in FCFS
+                        // order by original submission.
+                        let alloc = std::mem::take(&mut self.jobs[idx].allocation);
+                        let started = self.jobs[idx].start.take().expect("running job");
+                        busy_node_time += alloc.len() as f64 * (now - started).value();
+                        self.allocator.release(&alloc);
+                        epochs[idx] += 1;
+                        self.jobs[idx].compactness = 0.0;
+                        self.jobs[idx].requeues += 1;
+                        requeued += 1;
+                        let key = (self.jobs[idx].request.submit.value(), idx);
+                        let pos = queue
+                            .iter()
+                            .position(|&q| (self.jobs[q].request.submit.value(), q) > key)
+                            .unwrap_or(queue.len());
+                        queue.insert(pos, idx);
+                    }
+                    // Drop queued jobs the shrunken cluster can never hold.
+                    let alive = self.allocator.alive_count();
+                    let jobs = &mut self.jobs;
+                    queue.retain(|&q| {
+                        if jobs[q].request.nodes <= alive {
+                            true
+                        } else {
+                            jobs[q].abandoned = true;
+                            abandoned += 1;
+                            false
+                        }
+                    });
                 }
             }
             // Dispatch: FCFS head first; optionally backfill the rest.
@@ -131,7 +239,10 @@ impl<T: Topology + Sync> Scheduler<T> {
                 if let Some(nodes) = self.allocator.allocate(want) {
                     self.jobs[idx].compactness = self.allocator.compactness(&nodes);
                     self.jobs[idx].start = Some(now);
-                    events.schedule_at(now + self.jobs[idx].request.duration, Event::Finish(idx));
+                    events.schedule_at(
+                        now + self.jobs[idx].request.duration,
+                        Event::Finish(idx, epochs[idx]),
+                    );
                     self.jobs[idx].allocation = nodes;
                     queue.remove(i);
                     // After starting the head, restart the scan.
@@ -171,6 +282,9 @@ impl<T: Topology + Sync> Scheduler<T> {
                 mean_wait,
                 mean_compactness,
                 utilization,
+                failed_nodes,
+                requeued,
+                abandoned,
             },
         )
     }
@@ -283,5 +397,96 @@ mod tests {
     #[should_panic(expected = "wants")]
     fn oversized_job_rejected() {
         scheduler(AllocationPolicy::FirstFit, false).run(vec![job(0, 500, 1.0, 0.0)]);
+    }
+
+    fn fail(node: usize, at: f64) -> NodeFailure {
+        NodeFailure {
+            node: NodeId(node),
+            at: Time::seconds(at),
+        }
+    }
+
+    #[test]
+    fn failure_kills_and_requeues_the_running_job() {
+        // One full-machine job; a node fails mid-run. The job is killed,
+        // requeued, and restarted... but now wants 192 of 191 live nodes,
+        // so it is abandoned. A second, smaller job still completes.
+        let (jobs, stats) = scheduler(AllocationPolicy::FirstFit, false).run_with_failures(
+            vec![job(0, 192, 100.0, 0.0), job(1, 50, 10.0, 1.0)],
+            vec![fail(7, 30.0)],
+        );
+        assert_eq!(jobs[0].requeues, 1);
+        assert!(jobs[0].abandoned, "192-node job can't fit on 191 nodes");
+        assert_eq!(jobs[0].end, None);
+        assert_eq!(stats.failed_nodes, 1);
+        assert_eq!(stats.requeued, 1);
+        assert_eq!(stats.abandoned, 1);
+        // The small job starts once the dead machine frees up.
+        assert_eq!(jobs[1].start, Some(Time::seconds(30.0)));
+        assert_eq!(jobs[1].end, Some(Time::seconds(40.0)));
+    }
+
+    #[test]
+    fn requeued_job_restarts_and_finishes_later() {
+        // 100-node job killed at t=30 restarts immediately (92+ free live
+        // nodes remain? no — it held 100 of 192; after the kill 191 live
+        // nodes are all free) and runs its full duration again.
+        let (jobs, stats) = scheduler(AllocationPolicy::FirstFit, false)
+            .run_with_failures(vec![job(0, 100, 50.0, 0.0)], vec![fail(40, 30.0)]);
+        assert_eq!(jobs[0].requeues, 1);
+        assert!(!jobs[0].abandoned);
+        assert_eq!(jobs[0].end, Some(Time::seconds(80.0)), "30 + fresh 50");
+        assert!(
+            !jobs[0].allocation.contains(&NodeId(40)),
+            "replacement avoids the dead node"
+        );
+        assert!(stats.makespan == Time::seconds(80.0));
+        // Utilization accounts the lost partial run as busy time.
+        let expected_busy = 100.0 * 30.0 + 100.0 * 50.0;
+        assert!((stats.utilization - expected_busy / (192.0 * 80.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_on_a_free_node_kills_nothing() {
+        let (jobs, stats) = scheduler(AllocationPolicy::FirstFit, true).run_with_failures(
+            vec![job(0, 20, 10.0, 0.0)],
+            vec![fail(100, 1.0), fail(101, 2.0)],
+        );
+        assert_eq!(jobs[0].requeues, 0);
+        assert_eq!(jobs[0].end, Some(Time::seconds(10.0)));
+        assert_eq!(stats.failed_nodes, 2);
+        assert_eq!(stats.requeued, 0);
+    }
+
+    #[test]
+    fn oversized_submissions_after_failures_are_abandoned_not_wedged() {
+        // The failure lands before the full-machine job is submitted: the
+        // scheduler abandons it at submit time and keeps serving the rest.
+        let (jobs, stats) = scheduler(AllocationPolicy::FirstFit, false).run_with_failures(
+            vec![job(0, 192, 10.0, 5.0), job(1, 30, 5.0, 6.0)],
+            vec![fail(0, 1.0)],
+        );
+        assert!(jobs[0].abandoned);
+        assert_eq!(jobs[0].start, None);
+        assert_eq!(jobs[1].end, Some(Time::seconds(11.0)));
+        assert_eq!(stats.abandoned, 1);
+    }
+
+    #[test]
+    fn production_day_survives_a_failure_burst() {
+        use crate::workload::WorkloadSpec;
+        let workload = WorkloadSpec::production_day(192).generate(11);
+        let failures: Vec<NodeFailure> = (0..6).map(|i| fail(i * 30, 20_000.0)).collect();
+        let clean = scheduler(AllocationPolicy::BestFitContiguous, true).run(workload.clone());
+        let faulty = scheduler(AllocationPolicy::BestFitContiguous, true)
+            .run_with_failures(workload, failures);
+        assert_eq!(faulty.1.failed_nodes, 6);
+        // Every job either completed or was abandoned — nothing wedged.
+        assert!(faulty
+            .0
+            .iter()
+            .all(|j| j.end.is_some() || j.abandoned || j.start.is_some()));
+        // Losing 6 of 192 nodes can only stretch the day.
+        assert!(faulty.1.makespan >= clean.1.makespan);
     }
 }

@@ -415,3 +415,156 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault-injection properties (F-series subsystem).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn collective_costs_are_monotone_in_message_size(
+        p in 2usize..512,
+        bytes in 1.0f64..1e7,
+        extra in 1.0f64..1e7,
+    ) {
+        // Per fixed algorithm. (Auto is deliberately excluded: its
+        // size-based switch from binomial tree to ring at 16 KiB trades a
+        // latency cliff for bandwidth, so the combined curve is not
+        // globally monotone — exactly like production MPI libraries.)
+        use mpisim::collectives::{allgather, allreduce, alltoall, bcast, CollectiveAlgo};
+        let ptp = |b: Bytes| Time::micros(1.0) + Time::seconds(b.value() / 6.8e9);
+        let small = Bytes::new(bytes);
+        let large = Bytes::new(bytes + extra);
+        for algo in [CollectiveAlgo::BinomialTree, CollectiveAlgo::Ring] {
+            prop_assert!(allreduce(p, large, algo, ptp) >= allreduce(p, small, algo, ptp));
+            prop_assert!(bcast(p, large, algo, ptp) >= bcast(p, small, algo, ptp));
+            prop_assert!(allgather(p, large, algo, ptp) >= allgather(p, small, algo, ptp));
+        }
+        prop_assert!(alltoall(p, large, ptp) >= alltoall(p, small, ptp));
+    }
+
+    #[test]
+    fn collective_costs_are_monotone_in_rank_count(
+        p in 2usize..512,
+        bytes in 1.0f64..1e7,
+    ) {
+        use mpisim::collectives::{allgather, allreduce, alltoall, bcast, CollectiveAlgo};
+        let ptp = |b: Bytes| Time::micros(1.0) + Time::seconds(b.value() / 6.8e9);
+        let b = Bytes::new(bytes);
+        for algo in [CollectiveAlgo::BinomialTree, CollectiveAlgo::Ring, CollectiveAlgo::Auto] {
+            prop_assert!(allreduce(2 * p, b, algo, ptp) >= allreduce(p, b, algo, ptp));
+            prop_assert!(bcast(2 * p, b, algo, ptp) >= bcast(p, b, algo, ptp));
+            prop_assert!(allgather(2 * p, b, algo, ptp) >= allgather(p, b, algo, ptp));
+        }
+        prop_assert!(alltoall(2 * p, b, ptp) >= alltoall(p, b, ptp));
+    }
+
+    #[test]
+    fn injecting_any_fault_never_decreases_a_jobs_makespan(
+        degraded in 0usize..3,
+        link_latency in 0usize..3,
+        retransmit in 0usize..3,
+        slowdown in 0usize..3,
+        failures in 0usize..2,
+        seed in 0u64..200,
+    ) {
+        use arch::compiler::Compiler;
+        use arch::cost::KernelProfile;
+        use interconnect::faults::{Fault, FaultPlan, FaultSpec};
+        use interconnect::link::LinkModel;
+        use interconnect::network::Network;
+        use mpisim::{Job, JobFaults, JobLayout};
+
+        let spec = FaultSpec { degraded, link_latency, retransmit, slowdown, failures };
+        let plan = FaultPlan::generate("prop", 192, &spec, seed);
+        let clean = Network::new(TofuD::cte_arm(), LinkModel::tofud());
+        let faulty = plan.apply(Network::new(TofuD::cte_arm(), LinkModel::tofud()));
+
+        // Lay the job over faulty-but-alive nodes first (so the faults are
+        // actually visible to it), padded with healthy nodes.
+        let failed = plan.failed_nodes();
+        let mut picked: Vec<NodeId> = Vec::new();
+        for f in &plan.faults {
+            let n = f.node();
+            if !matches!(f, Fault::Failure { .. })
+                && !failed.contains(&n)
+                && !picked.contains(&n)
+                && picked.len() < 4
+            {
+                picked.push(n);
+            }
+        }
+        let mut next = 0usize;
+        while picked.len() < 4 {
+            let n = NodeId(next);
+            if !failed.contains(&n) && !picked.contains(&n) {
+                picked.push(n);
+            }
+            next += 1;
+        }
+        picked.sort_unstable_by_key(|n| n.index());
+
+        let machine = arch::machines::cte_arm();
+        let compiler = Compiler::gnu_sve();
+        let elapsed = |net: &Network<TofuD>, jf: &JobFaults| {
+            let layout = JobLayout::new(
+                picked.clone(),
+                4,
+                12,
+                machine.memory.n_domains,
+                machine.cores_per_node(),
+            );
+            let mut job = Job::new(&machine, &compiler, net, layout, seed)
+                .with_imbalance(0.0)
+                .with_faults(jf);
+            job.compute(&KernelProfile::dp("w", 1e9, 1e8));
+            job.allreduce(Bytes::kib(64.0));
+            job.alltoall(Bytes::kib(8.0));
+            job.sendrecv(0, job.n_ranks() - 1, Bytes::kib(32.0));
+            job.elapsed()
+        };
+        let base = elapsed(&clean, &JobFaults::none());
+        let hurt = elapsed(&faulty, &JobFaults::from_plan(&plan));
+        prop_assert!(
+            hurt >= base,
+            "plan `{}` sped the job up: {} < {}",
+            plan.describe(),
+            hurt,
+            base
+        );
+        // An empty plan is exactly bit-neutral.
+        if plan.faults.is_empty() {
+            prop_assert_eq!(hurt.value().to_bits(), base.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn hostnames_roundtrip_node_ids(id in 0usize..192) {
+        use interconnect::hostname::{hostname, parse_hostname};
+        let name = hostname(NodeId(id));
+        prop_assert_eq!(parse_hostname(&name), Some(NodeId(id)));
+    }
+
+    #[test]
+    fn hostnames_roundtrip_every_canonical_name(
+        rack in 0usize..4,
+        board in 0usize..4,
+        shelf in 10usize..13,
+        slot in 0usize..4,
+    ) {
+        use interconnect::hostname::{hostname, parse_hostname};
+        let name = format!("arms{rack}b{board}-{shelf}{}", (b'a' + slot as u8) as char);
+        let node = parse_hostname(&name).expect("canonical name parses");
+        prop_assert!(node.index() < 192);
+        prop_assert_eq!(hostname(node), name);
+    }
+}
+
+#[test]
+fn the_papers_degraded_hostname_pins_node_18() {
+    use interconnect::hostname::{hostname, parse_hostname};
+    // `arms0b1-11c` is the degraded node of the paper's Fig. 4 — the
+    // F-series campaigns fingerprint it by this exact name.
+    assert_eq!(parse_hostname("arms0b1-11c"), Some(NodeId(18)));
+    assert_eq!(hostname(NodeId(18)), "arms0b1-11c");
+}

@@ -196,6 +196,27 @@ fn topology_sweeps_are_bit_identical_at_1_2_8_threads() {
 }
 
 #[test]
+fn fault_campaign_is_bit_identical_at_1_2_8_threads() {
+    // The F-series campaign drives every layer at once — pairwise sweeps
+    // over the faulty network (rayon-parallel), mpisim jobs, and a full
+    // scheduler day — so its CSV pins the determinism contract end to end:
+    // same bytes under pools of 1, 2 and 8 workers, and at any `--jobs`.
+    use cluster_eval::engine::Ctx;
+    use cluster_eval::faults::{campaign, run_campaign};
+
+    let c = campaign("smoke").expect("smoke campaign is registered");
+    let run = |threads: usize, jobs: usize| {
+        at(threads, || {
+            let ctx = Ctx::new();
+            run_campaign(&ctx, &c, jobs).table.to_csv()
+        })
+    };
+    let base = run(1, 1);
+    assert_eq!(base, run(2, 2), "campaign diverged at 2 threads");
+    assert_eq!(base, run(8, 2), "campaign diverged at 8 threads");
+}
+
+#[test]
 fn engine_jobs_and_pool_share_the_core_budget_without_hanging() {
     use cluster_eval::engine::{filter_experiments, run_experiments, Ctx};
     use cluster_eval::experiments::all_experiments;
