@@ -2,7 +2,7 @@
 //! the paper's workloads. Throughput units are printed by Criterion.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use kernels::cg::{build_hpcg_matrix, cg_solve};
+use kernels::cg::{build_hpcg_matrix, cg_solve, symgs};
 use kernels::fem::{assemble, TriangleMesh};
 use kernels::fma;
 use kernels::gemm::{gemm_blocked, gemm_flops};
@@ -10,6 +10,7 @@ use kernels::lu::lu_factor;
 use kernels::matrix::DenseMatrix;
 use kernels::md::LjSystem;
 use kernels::spectral::fft;
+use kernels::stencil_matrix::StencilMatrix;
 use kernels::stream::{StreamArrays, StreamKernel};
 use simkit::rng::Pcg32;
 use std::hint::black_box;
@@ -78,17 +79,39 @@ fn bench_hpcg_core(c: &mut Criterion) {
     let mut g = c.benchmark_group("hpcg_core");
     g.sample_size(10);
     let a = build_hpcg_matrix(16, 16, 16);
+    let s = StencilMatrix::hpcg(16, 16, 16);
     let rhs = vec![1.0; a.n];
     g.throughput(Throughput::Elements(2 * a.nnz() as u64));
     let (mut x, mut y) = (vec![1.0; a.n], vec![0.0; a.n]);
-    g.bench_function("spmv_16cubed", |b| {
+    g.bench_function("spmv_csr_16cubed", |b| {
         b.iter(|| {
             a.spmv(black_box(&x), &mut y);
             std::mem::swap(&mut x, &mut y);
         })
     });
+    let (mut xs, mut ys) = (vec![1.0; s.n], vec![0.0; s.n]);
+    g.bench_function("spmv_stencil_16cubed", |b| {
+        b.iter(|| {
+            s.spmv(black_box(&xs), &mut ys);
+            std::mem::swap(&mut xs, &mut ys);
+        })
+    });
+    // SymGS counts 4·nnz flops per sweep (forward + backward).
+    g.throughput(Throughput::Elements(4 * a.nnz() as u64));
+    let mut xg = vec![0.0; a.n];
+    g.bench_function("symgs_seq_16cubed", |b| {
+        b.iter(|| symgs(&a, black_box(&rhs), &mut xg))
+    });
+    let mut xc = vec![0.0; s.n];
+    g.bench_function("symgs_colored_16cubed", |b| {
+        b.iter(|| s.symgs_colored(black_box(&rhs), &mut xc))
+    });
+    g.throughput(Throughput::Elements(2 * a.nnz() as u64));
     g.bench_function("pcg_5iters_16cubed", |b| {
         b.iter(|| black_box(cg_solve(&a, &rhs, 5, 0.0, true)))
+    });
+    g.bench_function("pcg_stencil_5iters_16cubed", |b| {
+        b.iter(|| black_box(cg_solve(&s, &rhs, 5, 0.0, true)))
     });
     g.finish();
 }

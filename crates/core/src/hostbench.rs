@@ -15,17 +15,20 @@
 //! implementations, so these numbers move when the runtime or the kernels
 //! do.
 
+use arch::cost::{spmv_csr_bytes, spmv_stencil_bytes};
 use interconnect::link::LinkModel;
 use interconnect::network::Network;
 use interconnect::routing::{all_pairs_loads, RouteSteps};
 use interconnect::table::RoutingTable;
 use interconnect::tofu::{TofuD, DIMS};
 use interconnect::topology::{NodeId, Topology};
-use kernels::cg::build_hpcg_matrix;
+use kernels::cg::{build_hpcg_matrix, symgs};
 use kernels::gemm::{gemm_blocked, gemm_flops};
 use kernels::matrix::DenseMatrix;
 use kernels::md::LjSystem;
+use kernels::mg::MgHierarchy;
 use kernels::stencil::OceanGrid;
+use kernels::stencil_matrix::StencilMatrix;
 use kernels::stream::{measure_bandwidth, StreamArrays, StreamKernel};
 use std::time::Instant;
 
@@ -113,6 +116,64 @@ impl NetworkBench {
     }
 }
 
+/// Structure-aware HPCG engine measurements: the CSR baseline against the
+/// stencil-packed format for SpMV (throughput *and* effective traffic),
+/// the sequential SymGS oracle against the parallel multicolor smoother,
+/// and the full V-cycle at one worker vs. the configured pool.
+#[derive(Debug, Clone)]
+pub struct HpcgBench {
+    /// Grid the SpMV/SymGS rows ran on (e.g. `32x32x32`).
+    pub grid: String,
+    /// CSR SpMV flop rate under the full pool, GFLOP/s.
+    pub spmv_csr_gflops: f64,
+    /// CSR SpMV effective traffic under the full pool, GB/s (modelled
+    /// bytes from [`spmv_csr_bytes`] over measured wall time).
+    pub spmv_csr_gbs: f64,
+    /// Stencil-packed SpMV flop rate under the full pool, GFLOP/s.
+    pub spmv_stencil_gflops: f64,
+    /// Stencil-packed SpMV effective traffic under the full pool, GB/s
+    /// (modelled bytes from [`spmv_stencil_bytes`]).
+    pub spmv_stencil_gbs: f64,
+    /// Sequential (oracle) SymGS sweeps per second.
+    pub symgs_seq_sweeps_per_sec: f64,
+    /// Parallel multicolor SymGS sweeps per second under the full pool.
+    pub symgs_colored_sweeps_per_sec: f64,
+    /// One V-cycle on the stencil hierarchy with a 1-worker pool, ms.
+    pub vcycle_ms_1t: f64,
+    /// Same V-cycle with the full configured pool, ms.
+    pub vcycle_ms_nt: f64,
+}
+
+impl HpcgBench {
+    /// `spmv_stencil_gflops / spmv_csr_gflops` — the format win at equal
+    /// arithmetic.
+    pub fn spmv_format_speedup(&self) -> f64 {
+        if self.spmv_csr_gflops > 0.0 {
+            self.spmv_stencil_gflops / self.spmv_csr_gflops
+        } else {
+            0.0
+        }
+    }
+
+    /// `symgs_colored_sweeps_per_sec / symgs_seq_sweeps_per_sec`.
+    pub fn symgs_speedup(&self) -> f64 {
+        if self.symgs_seq_sweeps_per_sec > 0.0 {
+            self.symgs_colored_sweeps_per_sec / self.symgs_seq_sweeps_per_sec
+        } else {
+            0.0
+        }
+    }
+
+    /// `vcycle_ms_1t / vcycle_ms_nt`.
+    pub fn vcycle_speedup(&self) -> f64 {
+        if self.vcycle_ms_nt > 0.0 {
+            self.vcycle_ms_1t / self.vcycle_ms_nt
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The full host snapshot.
 #[derive(Debug, Clone)]
 pub struct HostBench {
@@ -128,6 +189,8 @@ pub struct HostBench {
     pub kernels: Vec<KernelBench>,
     /// Interconnect fast-path measurements.
     pub network: NetworkBench,
+    /// Structure-aware HPCG engine measurements.
+    pub hpcg: HpcgBench,
 }
 
 fn time_best<F: FnMut()>(mut f: F) -> f64 {
@@ -167,6 +230,21 @@ fn bench_gemm(threads: usize) -> f64 {
 
 fn bench_spmv(threads: usize) -> f64 {
     let a = build_hpcg_matrix(24, 24, 24);
+    let x: Vec<f64> = (0..a.n).map(|i| (i as f64).sin()).collect();
+    let mut y = vec![0.0; a.n];
+    let reps = 20;
+    let secs = with_pool(threads, || {
+        time_best(|| {
+            for _ in 0..reps {
+                a.spmv(&x, &mut y);
+            }
+        })
+    });
+    (2 * a.nnz() * reps) as f64 / secs / 1e9
+}
+
+fn bench_spmv_stencil(threads: usize) -> f64 {
+    let a = StencilMatrix::hpcg(24, 24, 24);
     let x: Vec<f64> = (0..a.n).map(|i| (i as f64).sin()).collect();
     let mut y = vec![0.0; a.n];
     let reps = 20;
@@ -313,6 +391,76 @@ pub fn run_network_bench(pool_threads: usize) -> NetworkBench {
     }
 }
 
+/// Measure the structure-aware HPCG engine on a 32³ grid: both SpMV
+/// formats (same operator, same flops — only the stored format differs),
+/// both SymGS smoothers, and the 4-level V-cycle at 1 worker vs. the pool.
+pub fn run_hpcg_bench(pool_threads: usize) -> HpcgBench {
+    let (nx, ny, nz) = (32, 32, 32);
+    let csr = build_hpcg_matrix(nx, ny, nz);
+    let st = StencilMatrix::hpcg(nx, ny, nz);
+    let n = st.n;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let b = vec![1.0; n];
+    let mut y = vec![0.0; n];
+    let reps = 10;
+
+    let spmv_csr_secs = with_pool(pool_threads, || {
+        time_best(|| {
+            for _ in 0..reps {
+                csr.spmv(&x, &mut y);
+            }
+        })
+    });
+    let spmv_st_secs = with_pool(pool_threads, || {
+        time_best(|| {
+            for _ in 0..reps {
+                st.spmv(&x, &mut y);
+            }
+        })
+    });
+    let flops = (2 * csr.nnz() * reps) as f64;
+
+    // Sweeps/s: the sequential lexicographic oracle vs. the parallel
+    // multicolor smoother (same operator, both from the same zero guess).
+    let sweep_reps = 5;
+    let symgs_seq_secs = time_best(|| {
+        let mut xs = vec![0.0; n];
+        for _ in 0..sweep_reps {
+            symgs(&csr, &b, &mut xs);
+        }
+    });
+    let symgs_col_secs = with_pool(pool_threads, || {
+        time_best(|| {
+            let mut xs = vec![0.0; n];
+            for _ in 0..sweep_reps {
+                st.symgs_colored(&b, &mut xs);
+            }
+        })
+    });
+
+    let h = MgHierarchy::build(nx, ny, nz, 4);
+    let vcycle_ms = |threads: usize| {
+        with_pool(threads, || {
+            time_best(|| {
+                let mut xv = vec![0.0; n];
+                h.v_cycle(&b, &mut xv);
+            }) * 1e3
+        })
+    };
+
+    HpcgBench {
+        grid: format!("{nx}x{ny}x{nz}"),
+        spmv_csr_gflops: flops / spmv_csr_secs / 1e9,
+        spmv_csr_gbs: spmv_csr_bytes(n, csr.nnz()) * reps as f64 / spmv_csr_secs / 1e9,
+        spmv_stencil_gflops: flops / spmv_st_secs / 1e9,
+        spmv_stencil_gbs: spmv_stencil_bytes(n) * reps as f64 / spmv_st_secs / 1e9,
+        symgs_seq_sweeps_per_sec: sweep_reps as f64 / symgs_seq_secs,
+        symgs_colored_sweeps_per_sec: sweep_reps as f64 / symgs_col_secs,
+        vcycle_ms_1t: vcycle_ms(1),
+        vcycle_ms_nt: vcycle_ms(pool_threads),
+    }
+}
+
 /// Measure every kernel at 1 thread and at the configured pool width.
 pub fn run_host_bench() -> HostBench {
     let pool_threads = rayon::current_num_threads();
@@ -346,6 +494,12 @@ pub fn run_host_bench() -> HostBench {
             bench_spmv,
         ),
         (
+            "spmv_stencil",
+            "GFLOP/s",
+            "HPCG 24x24x24 stencil-packed, 20 reps".into(),
+            bench_spmv_stencil,
+        ),
+        (
             "stencil_ocean",
             "GB/s",
             "512x256 shallow-water, 10 steps".into(),
@@ -374,6 +528,7 @@ pub fn run_host_bench() -> HostBench {
         rayon_threads_env,
         kernels,
         network: run_network_bench(pool_threads),
+        hpcg: run_hpcg_bench(pool_threads),
     }
 }
 
@@ -414,6 +569,51 @@ impl HostBench {
             });
         }
         out.push_str("  ],\n");
+        let hp = &self.hpcg;
+        out.push_str("  \"hpcg\": {\n");
+        out.push_str(&format!("    \"grid\": \"{}\",\n", hp.grid));
+        out.push_str(&format!(
+            "    \"spmv_csr_gflops\": {:.3},\n",
+            hp.spmv_csr_gflops
+        ));
+        out.push_str(&format!("    \"spmv_csr_gbs\": {:.3},\n", hp.spmv_csr_gbs));
+        out.push_str(&format!(
+            "    \"spmv_stencil_gflops\": {:.3},\n",
+            hp.spmv_stencil_gflops
+        ));
+        out.push_str(&format!(
+            "    \"spmv_stencil_gbs\": {:.3},\n",
+            hp.spmv_stencil_gbs
+        ));
+        out.push_str(&format!(
+            "    \"spmv_format_speedup\": {:.3},\n",
+            hp.spmv_format_speedup()
+        ));
+        out.push_str(&format!(
+            "    \"symgs_seq_sweeps_per_sec\": {:.1},\n",
+            hp.symgs_seq_sweeps_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"symgs_colored_sweeps_per_sec\": {:.1},\n",
+            hp.symgs_colored_sweeps_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"symgs_speedup\": {:.3},\n",
+            hp.symgs_speedup()
+        ));
+        out.push_str(&format!(
+            "    \"vcycle_wall_ms_1_thread\": {:.2},\n",
+            hp.vcycle_ms_1t
+        ));
+        out.push_str(&format!(
+            "    \"vcycle_wall_ms_{}_threads\": {:.2},\n",
+            self.pool_threads, hp.vcycle_ms_nt
+        ));
+        out.push_str(&format!(
+            "    \"vcycle_speedup\": {:.3}\n",
+            hp.vcycle_speedup()
+        ));
+        out.push_str("  },\n");
         let nw = &self.network;
         out.push_str("  \"network\": {\n");
         out.push_str(&format!(
@@ -478,6 +678,20 @@ mod tests {
         }
     }
 
+    fn sample_hpcg() -> HpcgBench {
+        HpcgBench {
+            grid: "32x32x32".into(),
+            spmv_csr_gflops: 2.0,
+            spmv_csr_gbs: 18.0,
+            spmv_stencil_gflops: 6.0,
+            spmv_stencil_gbs: 3.0,
+            symgs_seq_sweeps_per_sec: 100.0,
+            symgs_colored_sweeps_per_sec: 250.0,
+            vcycle_ms_1t: 40.0,
+            vcycle_ms_nt: 10.0,
+        }
+    }
+
     #[test]
     fn json_shape_is_well_formed() {
         let hb = HostBench {
@@ -492,6 +706,7 @@ mod tests {
                 value_nt: 30.0,
             }],
             network: sample_network(),
+            hpcg: sample_hpcg(),
         };
         let j = hb.to_json();
         assert!(j.contains("\"detected_cores\": 4"));
@@ -504,6 +719,12 @@ mod tests {
         assert!(j.contains("\"route_enum_per_sec\": 20000000"));
         assert!(j.contains("\"sweep_wall_ms_4_threads\": 50.0"));
         assert!(j.contains("\"sweep_speedup\": 4.000"));
+        assert!(j.contains("\"hpcg\": {"));
+        assert!(j.contains("\"grid\": \"32x32x32\""));
+        assert!(j.contains("\"spmv_format_speedup\": 3.000"));
+        assert!(j.contains("\"symgs_speedup\": 2.500"));
+        assert!(j.contains("\"vcycle_wall_ms_4_threads\": 10.00"));
+        assert!(j.contains("\"vcycle_speedup\": 4.000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
@@ -515,8 +736,23 @@ mod tests {
             rayon_threads_env: Some("2".into()),
             kernels: vec![],
             network: sample_network(),
+            hpcg: sample_hpcg(),
         };
         assert!(hb.to_json().contains("\"rayon_num_threads_env\": \"2\""));
+    }
+
+    #[test]
+    fn hpcg_ratios_handle_zero_denominators() {
+        let mut hp = sample_hpcg();
+        assert_eq!(hp.spmv_format_speedup(), 3.0);
+        assert_eq!(hp.symgs_speedup(), 2.5);
+        assert_eq!(hp.vcycle_speedup(), 4.0);
+        hp.spmv_csr_gflops = 0.0;
+        hp.symgs_seq_sweeps_per_sec = 0.0;
+        hp.vcycle_ms_nt = 0.0;
+        assert_eq!(hp.spmv_format_speedup(), 0.0);
+        assert_eq!(hp.symgs_speedup(), 0.0);
+        assert_eq!(hp.vcycle_speedup(), 0.0);
     }
 
     #[test]

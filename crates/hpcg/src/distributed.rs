@@ -10,8 +10,7 @@
 //! products are "allreduced" (summed across ranks, counted as collective
 //! traffic).
 
-use kernels::cg::build_hpcg_matrix;
-use kernels::matrix::CsrMatrix;
+use kernels::stencil_matrix::StencilMatrix;
 
 /// Communication counters of a distributed solve.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,8 +32,10 @@ pub struct DistributedCg {
     /// Local box dimensions (uniform).
     pub local: (usize, usize, usize),
     /// Per-rank local operator on the ghosted box (ghost cells are
-    /// Dirichlet-masked to reproduce the global stencil exactly).
-    local_matrix: CsrMatrix,
+    /// Dirichlet-masked to reproduce the global stencil exactly), held in
+    /// stencil-packed form — assembled directly from the padded box
+    /// dimensions, no triplet buffer.
+    local_matrix: StencilMatrix,
     /// Communication counters.
     pub comm: HaloStats,
 }
@@ -59,7 +60,7 @@ impl DistributedCg {
         );
         // The ghosted local operator: build the stencil over the padded box
         // once; interior rows match the global operator exactly.
-        let padded = build_hpcg_matrix(local.0 + 2, local.1 + 2, local.2 + 2);
+        let padded = StencilMatrix::hpcg(local.0 + 2, local.1 + 2, local.2 + 2);
         Self {
             global,
             pgrid,
@@ -267,7 +268,7 @@ impl DistributedCg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kernels::cg::cg_solve;
+    use kernels::cg::{build_hpcg_matrix, cg_solve};
 
     #[test]
     fn distributed_matches_global_cg() {

@@ -36,7 +36,8 @@ pub mod output;
 
 use arch::compiler::Language;
 use arch::machines::Machine;
-use kernels::cg::{build_hpcg_matrix, cg_solve};
+use kernels::cg::cg_solve;
+use kernels::stencil_matrix::StencilMatrix;
 use simkit::units::Time;
 
 /// Which HPCG build is running.
@@ -195,8 +196,10 @@ pub fn simulate_cached(
 /// Run the real preconditioned CG on a small grid and return
 /// `(iterations, relative_residual, achieved_host_gflops)`. Used by tests
 /// and benches to pin the simulated benchmark to the genuine algorithm.
+/// Runs on the structure-aware [`StencilMatrix`] engine — stencil-packed
+/// SpMV and the parallel multicolor SymGS preconditioner.
 pub fn verify_small_grid(nx: usize, ny: usize, nz: usize) -> (usize, f64, f64) {
-    let a = build_hpcg_matrix(nx, ny, nz);
+    let a = StencilMatrix::hpcg(nx, ny, nz);
     let b = vec![1.0; a.n];
     let t0 = std::time::Instant::now();
     let res = cg_solve(&a, &b, 200, 1e-8, true);

@@ -7,7 +7,7 @@
 //! Gauss–Seidel-preconditioned variant converges in far fewer iterations,
 //! exactly the structure HPCG times.
 
-use crate::matrix::{axpy, dot, norm2, CsrMatrix};
+use crate::matrix::{axpy, dot, norm2, CsrMatrix, SparseOp};
 
 /// Build the HPCG 27-point matrix for an `nx × ny × nz` grid.
 pub fn build_hpcg_matrix(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
@@ -46,36 +46,42 @@ pub fn build_hpcg_matrix(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
 
 /// One symmetric Gauss–Seidel sweep (forward then backward), HPCG's
 /// preconditioner. `x` is updated in place to approximately solve `A·x = r`.
+///
+/// This sequential lexicographic sweep is the **reference oracle** for the
+/// parallel multicolor smoother in
+/// [`crate::stencil_matrix::StencilMatrix::symgs_colored`].
+///
+/// # Panics
+/// Panics on a zero (or missing) diagonal in **either** sweep — the
+/// division would otherwise silently seed `inf`/`NaN` into the solve. The
+/// diagonal comes from [`CsrMatrix::diagonal`], which is cached at
+/// assembly, so the check costs one load per row.
 pub fn symgs(a: &CsrMatrix, r: &[f64], x: &mut [f64]) {
     let n = a.n;
     assert_eq!(r.len(), n, "rhs dimension mismatch");
     assert_eq!(x.len(), n, "x dimension mismatch");
+    let diag = a.diagonal();
     // Forward sweep.
     for i in 0..n {
         let mut sum = r[i];
-        let mut diag = 0.0;
         for (j, v) in a.row(i) {
-            if j == i {
-                diag = v;
-            } else {
+            if j != i {
                 sum -= v * x[j];
             }
         }
-        assert!(diag != 0.0, "zero diagonal at row {i}");
-        x[i] = sum / diag;
+        assert!(diag[i] != 0.0, "zero diagonal at row {i}");
+        x[i] = sum / diag[i];
     }
     // Backward sweep.
     for i in (0..n).rev() {
         let mut sum = r[i];
-        let mut diag = 0.0;
         for (j, v) in a.row(i) {
-            if j == i {
-                diag = v;
-            } else {
+            if j != i {
                 sum -= v * x[j];
             }
         }
-        x[i] = sum / diag;
+        assert!(diag[i] != 0.0, "zero diagonal at row {i}");
+        x[i] = sum / diag[i];
     }
 }
 
@@ -93,24 +99,30 @@ pub struct CgResult {
     pub flops: f64,
 }
 
-/// Preconditioned conjugate gradients. `precondition = true` applies one
-/// SymGS sweep per iteration (the HPCG configuration); `false` is plain CG.
+/// Preconditioned conjugate gradients over any [`SparseOp`] engine —
+/// the general [`CsrMatrix`] (sequential SymGS preconditioner) or the
+/// structure-aware [`crate::stencil_matrix::StencilMatrix`] (stencil SpMV,
+/// parallel multicolor SymGS). `precondition = true` applies one SymGS
+/// sweep per iteration (the HPCG configuration); `false` is plain CG.
 ///
 /// ```
 /// use kernels::cg::{build_hpcg_matrix, cg_solve};
+/// use kernels::stencil_matrix::StencilMatrix;
 /// let a = build_hpcg_matrix(6, 6, 6);
-/// let b = vec![1.0; a.n];
-/// let result = cg_solve(&a, &b, 200, 1e-8, true);
+/// let result = cg_solve(&a, &vec![1.0; a.n], 200, 1e-8, true);
+/// assert!(result.relative_residual < 1e-8);
+/// let s = StencilMatrix::hpcg(6, 6, 6);
+/// let result = cg_solve(&s, &vec![1.0; s.n], 200, 1e-8, true);
 /// assert!(result.relative_residual < 1e-8);
 /// ```
-pub fn cg_solve(
-    a: &CsrMatrix,
+pub fn cg_solve<A: SparseOp>(
+    a: &A,
     b: &[f64],
     max_iters: usize,
     tol: f64,
     precondition: bool,
 ) -> CgResult {
-    let n = a.n;
+    let n = a.n();
     assert_eq!(b.len(), n, "rhs dimension mismatch");
     let nnz = a.nnz() as f64;
     let nf = n as f64;
@@ -133,7 +145,7 @@ pub fn cg_solve(
     let apply_precond = |r: &[f64], z: &mut Vec<f64>, flops: &mut f64| {
         if precondition {
             z.iter_mut().for_each(|v| *v = 0.0);
-            symgs(a, r, z);
+            a.smooth(r, z);
             *flops += 4.0 * nnz;
         } else {
             z.copy_from_slice(r);
@@ -260,6 +272,16 @@ mod tests {
         a.spmv(&x, &mut ax);
         let r: Vec<f64> = b.iter().zip(&ax).map(|(b, ax)| b - ax).collect();
         assert!(norm2(&r) < res0, "one sweep must reduce the residual");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero diagonal at row 1")]
+    fn missing_diagonal_is_diagnosed_not_silently_nan() {
+        // Row 1 has no diagonal entry; before the cached-diagonal fix the
+        // backward sweep divided by 0.0 and quietly produced inf/NaN.
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (1, 0, 1.0)]);
+        let mut x = vec![0.0; 2];
+        symgs(&a, &[1.0, 1.0], &mut x);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   pivoting: the computational heart of LINPACK (Fig. 6).
 //! * [`matrix`] — CSR sparse matrices and dense helpers shared by the
 //!   solvers.
+//! * [`stencil_matrix`] — the structure-aware sparse engine: ELL-27
+//!   stencil-packed SpMV (no column-index indirection) and the parallel
+//!   multicolor symmetric Gauss–Seidel smoother used by the HPCG path.
 //! * [`cg`] — 27-point-stencil SpMV, symmetric Gauss–Seidel and the
 //!   preconditioned CG iteration: the heart of HPCG (Fig. 7).
 //! * [`fem`] — unstructured finite-element assembly + solve: the Alya proxy
@@ -41,4 +44,5 @@ pub mod md;
 pub mod mg;
 pub mod spectral;
 pub mod stencil;
+pub mod stencil_matrix;
 pub mod stream;

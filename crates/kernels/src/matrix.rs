@@ -32,7 +32,17 @@ impl DenseMatrix {
         m
     }
 
-    /// Build from a row-major closure.
+    /// Build from an element closure `f(i, j)` where `i` is the **row**
+    /// and `j` the **column** index. Storage is column-major, so the
+    /// closure is invoked column by column — do not rely on call order
+    /// for side effects like RNG draws reproducing a row-major layout.
+    ///
+    /// ```
+    /// use kernels::matrix::DenseMatrix;
+    /// let m = DenseMatrix::from_fn(2, 3, |i, j| (10 * i + j) as f64);
+    /// assert_eq!(m[(0, 1)], 1.0); // f(i, j) is (row, column) …
+    /// assert_eq!(m[(1, 0)], 10.0); // … even though storage is col-major
+    /// ```
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut m = Self::zeros(rows, cols);
         for j in 0..cols {
@@ -97,6 +107,23 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
     }
 }
 
+/// The operations the solver kernels (CG, multigrid) need from a sparse
+/// operator, implemented by both the general [`CsrMatrix`] and the
+/// structure-aware [`crate::stencil_matrix::StencilMatrix`]. The `smooth`
+/// method is the operator's symmetric Gauss–Seidel sweep: sequential
+/// lexicographic for CSR (the reference oracle), parallel multicolor for
+/// the stencil engine.
+pub trait SparseOp {
+    /// Number of rows (= columns for the solvers here).
+    fn n(&self) -> usize;
+    /// Stored non-zeros.
+    fn nnz(&self) -> usize;
+    /// `y = A·x`.
+    fn spmv(&self, x: &[f64], y: &mut [f64]);
+    /// One symmetric Gauss–Seidel sweep updating `x` towards `A·x = r`.
+    fn smooth(&self, r: &[f64], x: &mut [f64]);
+}
+
 /// Compressed-sparse-row matrix.
 #[derive(Debug, Clone)]
 pub struct CsrMatrix {
@@ -108,6 +135,9 @@ pub struct CsrMatrix {
     pub col_idx: Vec<usize>,
     /// Values per non-zero.
     pub values: Vec<f64>,
+    /// Diagonal entries, cached at assembly (0 where a row has none) so
+    /// per-sweep callers never re-scan the non-zeros.
+    diag: Vec<f64>,
 }
 
 impl CsrMatrix {
@@ -142,11 +172,20 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
+        let diag = (0..n)
+            .map(|i| {
+                col_idx[row_ptr[i]..row_ptr[i + 1]]
+                    .iter()
+                    .position(|&c| c == i)
+                    .map_or(0.0, |k| values[row_ptr[i] + k])
+            })
+            .collect();
         Self {
             n,
             row_ptr,
             col_idx,
             values,
+            diag,
         }
     }
 
@@ -188,11 +227,10 @@ impl CsrMatrix {
         });
     }
 
-    /// Diagonal entries (0 where a row has no diagonal).
-    pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.n)
-            .map(|i| self.row(i).find(|&(c, _)| c == i).map_or(0.0, |(_, v)| v))
-            .collect()
+    /// Diagonal entries (0 where a row has no diagonal), precomputed at
+    /// assembly — O(1) per call instead of an O(nnz) re-scan.
+    pub fn diagonal(&self) -> &[f64] {
+        &self.diag
     }
 
     /// Check structural symmetry with matching values (tolerance `tol`).
@@ -210,6 +248,21 @@ impl CsrMatrix {
             }
         }
         true
+    }
+}
+
+impl SparseOp for CsrMatrix {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        CsrMatrix::spmv(self, x, y);
+    }
+    fn smooth(&self, r: &[f64], x: &mut [f64]) {
+        crate::cg::symgs(self, r, x);
     }
 }
 

@@ -5,14 +5,20 @@
 //! coarser 27-point grid, recurse, prolongate, SymGS post-smooth). This
 //! module implements that hierarchy for real on grids with even
 //! dimensions, matching HPCG's injection restriction (every second point).
+//!
+//! Every level holds its operator in the structure-aware
+//! [`StencilMatrix`] form: assembly is direct from the level's grid
+//! dimensions (no CSR triplet detour at any depth), the smoother is the
+//! parallel multicolor SymGS, and restriction/prolongation are the same
+//! injection maps as before — they only depend on the grid geometry, not
+//! the matrix format.
 
-use crate::cg::{build_hpcg_matrix, symgs};
-use crate::matrix::CsrMatrix;
+use crate::stencil_matrix::StencilMatrix;
 
 /// One level of the multigrid hierarchy.
 pub struct MgLevel {
-    /// The 27-point operator at this level.
-    pub matrix: CsrMatrix,
+    /// The 27-point operator at this level, in stencil-packed form.
+    pub matrix: StencilMatrix,
     /// Grid dimensions at this level.
     pub dims: (usize, usize, usize),
     /// Map from coarse index to the fine index it injects from/to
@@ -40,7 +46,7 @@ impl MgHierarchy {
         let mut levels = Vec::new();
         let (mut cx, mut cy, mut cz) = (nx, ny, nz);
         loop {
-            let matrix = build_hpcg_matrix(cx, cy, cz);
+            let matrix = StencilMatrix::hpcg(cx, cy, cz);
             let can_coarsen = levels.len() + 1 < max_levels
                 && cx % 2 == 0
                 && cy % 2 == 0
@@ -94,8 +100,8 @@ impl MgHierarchy {
     fn cycle_at(&self, level: usize, r: &[f64], x: &mut [f64]) {
         let lvl = &self.levels[level];
         let a = &lvl.matrix;
-        // Pre-smooth.
-        symgs(a, r, x);
+        // Pre-smooth (parallel multicolor SymGS).
+        a.symgs_colored(r, x);
         if level + 1 >= self.levels.len() {
             return;
         }
@@ -117,7 +123,7 @@ impl MgHierarchy {
             x[f] += xc[c];
         }
         // Post-smooth.
-        symgs(a, r, x);
+        a.symgs_colored(r, x);
     }
 
     /// Flops of one V-cycle, following HPCG's counting: per level,
@@ -229,7 +235,7 @@ mod tests {
         let mut x_mg = vec![0.0; a.n];
         h.v_cycle(&b, &mut x_mg);
         let mut x_gs = vec![0.0; a.n];
-        crate::cg::symgs(a, &b, &mut x_gs);
+        a.symgs_colored(&b, &mut x_gs);
         assert!(
             residual_after(&x_mg) < residual_after(&x_gs),
             "one V-cycle beats one SymGS sweep"

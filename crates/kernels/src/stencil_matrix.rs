@@ -1,0 +1,534 @@
+//! Structure-aware sparse engine for the HPCG operator: an ELL-27
+//! stencil-packed matrix format and a deterministic multicolor symmetric
+//! Gauss–Seidel smoother.
+//!
+//! [`crate::cg::build_hpcg_matrix`] stores the 27-point operator in general
+//! CSR: per-row `row_ptr` spans plus an explicit `col_idx` per non-zero.
+//! For a fixed-structure stencil that indirection is pure overhead — every
+//! interior row has exactly the same 27 column offsets, and every lane
+//! carries the same coefficient (26 on the diagonal, −1 towards each
+//! neighbour). [`StencilMatrix`] exploits that:
+//!
+//! * **No per-row metadata.** The matrix is its grid dimensions, 27 linear
+//!   lane offsets and 27 lane coefficients — a few hundred bytes total,
+//!   against CSR's `16·nnz + 8·n` bytes of values + column indices +
+//!   row pointers. SpMV traffic collapses to streaming `x` and `y`.
+//! * **Branch-free interior fast path.** Rows with all 27 neighbours in
+//!   bounds are computed lane-major over whole x-line runs: 27 shifted
+//!   contiguous reads of `x`, no gathers, no per-element bounds logic.
+//!   Boundary rows take a masked per-lane path.
+//! * **Direct parallel assembly.** Construction derives everything from
+//!   `(nx, ny, nz)`; there is no intermediate `Vec<(row, col, value)>`
+//!   triplet buffer (CSR assembly allocates ~27·n tuples plus n inner
+//!   vectors before compacting).
+//!
+//! The smoother is an 8-color red/black generalization: coloring grid
+//! points by coordinate parity `(x%2, y%2, z%2)` makes every pair of
+//! same-color points non-adjacent under the 3×3×3 stencil, so each color
+//! sweeps in parallel with no mutual dependencies. Sweeps walk colors
+//! 0..8 forward then 8..0 backward (the exact transpose order), which
+//! keeps the preconditioner symmetric. Because same-color updates are
+//! independent and each row's lane sum has a fixed order, the result is
+//! **bit-identical at every thread count** — pinned by
+//! `tests/runtime_determinism.rs`. The sequential lexicographic
+//! [`crate::cg::symgs`] stays as the reference oracle.
+
+use crate::matrix::SparseOp;
+use rayon::prelude::*;
+
+/// Lane index of the diagonal (dz = dy = dx = 0).
+const CENTER: usize = 13;
+
+/// Per-lane x-displacements, lane order lexicographic in `(dz, dy, dx)` —
+/// the same ascending-column order CSR assembly sorts each row into.
+const DX: [i64; 27] = {
+    let mut d = [0i64; 27];
+    let mut l = 0;
+    while l < 27 {
+        d[l] = (l % 3) as i64 - 1;
+        l += 1;
+    }
+    d
+};
+/// Per-lane y-displacements.
+const DY: [i64; 27] = {
+    let mut d = [0i64; 27];
+    let mut l = 0;
+    while l < 27 {
+        d[l] = ((l / 3) % 3) as i64 - 1;
+        l += 1;
+    }
+    d
+};
+/// Per-lane z-displacements.
+const DZ: [i64; 27] = {
+    let mut d = [0i64; 27];
+    let mut l = 0;
+    while l < 27 {
+        d[l] = (l / 9) as i64 - 1;
+        l += 1;
+    }
+    d
+};
+
+/// One parity class of the 8-coloring, split so the hot loop never
+/// re-derives coordinates: `interior` rows have all 27 neighbours in
+/// bounds, `boundary` rows need the masked path. Rows of one color are
+/// mutually non-adjacent, so both lists update independently.
+#[derive(Debug, Clone, Default)]
+struct ColorSet {
+    interior: Vec<usize>,
+    boundary: Vec<usize>,
+}
+
+impl ColorSet {
+    fn len(&self) -> usize {
+        self.interior.len() + self.boundary.len()
+    }
+}
+
+/// The 27-point operator of an `nx × ny × nz` grid in stencil-packed
+/// (ELL-27) form: constant per-lane coefficients, fixed lane offsets,
+/// no stored column indices.
+#[derive(Debug, Clone)]
+pub struct StencilMatrix {
+    /// Number of rows (= grid points).
+    pub n: usize,
+    /// Grid dimensions.
+    pub dims: (usize, usize, usize),
+    /// Linear index offset of each lane: `(dz·ny + dy)·nx + dx`.
+    offsets: [i64; 27],
+    /// Coefficient carried by each lane (`lane_values[CENTER]` is the
+    /// diagonal).
+    lane_values: [f64; 27],
+    /// Stored non-zeros the equivalent CSR matrix would hold.
+    nnz: usize,
+    /// The 8 parity color classes, index `c = x%2 + 2·(y%2) + 4·(z%2)`.
+    colors: Vec<ColorSet>,
+}
+
+impl StencilMatrix {
+    /// The HPCG operator: 26 on the diagonal, −1 towards every in-bounds
+    /// neighbour — the same matrix [`crate::cg::build_hpcg_matrix`]
+    /// assembles in CSR, without the triplet detour.
+    pub fn hpcg(nx: usize, ny: usize, nz: usize) -> Self {
+        let mut lane_values = [-1.0; 27];
+        lane_values[CENTER] = 26.0;
+        Self::with_lane_values(nx, ny, nz, lane_values)
+    }
+
+    /// General constructor: one fixed coefficient per stencil lane.
+    /// Lane order is lexicographic in `(dz, dy, dx)`, diagonal at lane 13.
+    pub fn with_lane_values(nx: usize, ny: usize, nz: usize, lane_values: [f64; 27]) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "degenerate grid");
+        let n = nx * ny * nz;
+        let mut offsets = [0i64; 27];
+        let mut nnz = 0usize;
+        for l in 0..27 {
+            offsets[l] = (DZ[l] * ny as i64 + DY[l]) * nx as i64 + DX[l];
+            // A lane is present wherever the neighbour stays in bounds:
+            // (nx − |dx|)(ny − |dy|)(nz − |dz|) rows.
+            nnz += (nx - DX[l].unsigned_abs() as usize)
+                * (ny - DY[l].unsigned_abs() as usize)
+                * (nz - DZ[l].unsigned_abs() as usize);
+        }
+        let colors = build_colors(nx, ny, nz);
+        Self {
+            n,
+            dims: (nx, ny, nz),
+            offsets,
+            lane_values,
+            nnz,
+            colors,
+        }
+    }
+
+    /// Stored non-zeros of the equivalent CSR matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The diagonal coefficient.
+    pub fn diag(&self) -> f64 {
+        self.lane_values[CENTER]
+    }
+
+    /// Sparse matrix-vector product `y = A·x`, rayon-parallel over
+    /// contiguous row chunks exactly like [`crate::matrix::CsrMatrix::spmv`].
+    /// Every `y[i]` is an independent fixed-order lane sum, so results are
+    /// bit-identical to the CSR product at any thread count or chunking.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x dimension mismatch");
+        assert_eq!(y.len(), self.n, "y dimension mismatch");
+        let tasks = (rayon::current_num_threads() * 4).max(1);
+        let chunk = self.n.div_ceil(tasks).max(256);
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            self.spmv_rows(ci * chunk, x, yc);
+        });
+    }
+
+    /// Compute rows `base .. base + y.len()` of the product into `y`.
+    fn spmv_rows(&self, base: usize, x: &[f64], y: &mut [f64]) {
+        let (nx, ny, nz) = self.dims;
+        let plane = nx * ny;
+        let end = base + y.len();
+        let mut i = base;
+        while i < end {
+            let iz = i / plane;
+            let rem = i % plane;
+            let iy = rem / nx;
+            let ix = rem % nx;
+            let line_start = i - ix;
+            let seg_end = (line_start + nx).min(end);
+            let line_interior = iy >= 1 && iy + 1 < ny && iz >= 1 && iz + 1 < nz;
+            if line_interior && nx >= 3 {
+                // Masked head (x = 0), branch-free body, masked tail
+                // (x = nx − 1); the chunk may start or stop mid-line.
+                let head_end = seg_end.min(line_start + 1);
+                let body_end = seg_end.min(line_start + nx - 1);
+                let mut j = i;
+                while j < head_end {
+                    y[j - base] = self.row_masked(j, x);
+                    j += 1;
+                }
+                if j < body_end {
+                    self.lane_major_run(j, body_end, x, &mut y[j - base..body_end - base]);
+                    j = body_end;
+                }
+                while j < seg_end {
+                    y[j - base] = self.row_masked(j, x);
+                    j += 1;
+                }
+            } else {
+                for j in i..seg_end {
+                    y[j - base] = self.row_masked(j, x);
+                }
+            }
+            i = seg_end;
+        }
+    }
+
+    /// Interior rows `[lo, hi)` lane-major: per lane, one coefficient times
+    /// one contiguous shifted slice of `x`. Lanes accumulate in lane order,
+    /// so each element's sum associates exactly like the per-row path.
+    fn lane_major_run(&self, lo: usize, hi: usize, x: &[f64], out: &mut [f64]) {
+        let len = hi - lo;
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        for l in 0..27 {
+            let v = self.lane_values[l];
+            let src = &x[(lo as i64 + self.offsets[l]) as usize..][..len];
+            for (o, &xv) in out.iter_mut().zip(src) {
+                *o += v * xv;
+            }
+        }
+    }
+
+    /// One boundary (or fallback) row: per-lane bounds mask, lane-order sum.
+    #[inline]
+    fn row_masked(&self, i: usize, x: &[f64]) -> f64 {
+        let (nx, ny, nz) = self.dims;
+        let plane = nx * ny;
+        let iz = (i / plane) as i64;
+        let rem = i % plane;
+        let iy = (rem / nx) as i64;
+        let ix = (rem % nx) as i64;
+        let mut sum = 0.0;
+        for l in 0..27 {
+            let (jx, jy, jz) = (ix + DX[l], iy + DY[l], iz + DZ[l]);
+            if jx < 0 || jy < 0 || jz < 0 || jx >= nx as i64 || jy >= ny as i64 || jz >= nz as i64 {
+                continue;
+            }
+            sum += self.lane_values[l] * x[(i as i64 + self.offsets[l]) as usize];
+        }
+        sum
+    }
+
+    /// One multicolor symmetric Gauss–Seidel sweep (forward color order,
+    /// then the exact reverse), updating `x` in place towards `A·x = r`.
+    ///
+    /// Same-color rows are never stencil neighbours, so each color updates
+    /// all its rows against a frozen `x` in parallel; the per-row lane sum
+    /// has a fixed order. Together that makes the sweep a pure function of
+    /// `(r, x)` — bit-identical at `RAYON_NUM_THREADS=1/2/8`.
+    ///
+    /// # Panics
+    /// Panics if the diagonal coefficient is zero (the smoother would
+    /// silently produce `inf`/`NaN`).
+    pub fn symgs_colored(&self, r: &[f64], x: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "rhs dimension mismatch");
+        assert_eq!(x.len(), self.n, "x dimension mismatch");
+        assert!(
+            self.lane_values[CENTER] != 0.0,
+            "zero diagonal: Gauss–Seidel is undefined"
+        );
+        let max = self.colors.iter().map(ColorSet::len).max().unwrap_or(0);
+        let mut scratch = vec![0.0; max];
+        for c in 0..self.colors.len() {
+            self.color_sweep(c, r, x, &mut scratch);
+        }
+        for c in (0..self.colors.len()).rev() {
+            self.color_sweep(c, r, x, &mut scratch);
+        }
+    }
+
+    /// Update every row of one color against the frozen `x`, then scatter.
+    fn color_sweep(&self, color: usize, r: &[f64], x: &mut [f64], scratch: &mut [f64]) {
+        let set = &self.colors[color];
+        let diag = self.lane_values[CENTER];
+        for (rows, interior) in [(&set.interior, true), (&set.boundary, false)] {
+            if rows.is_empty() {
+                continue;
+            }
+            let new = &mut scratch[..rows.len()];
+            let xs: &[f64] = x;
+            let tasks = (rayon::current_num_threads() * 4).max(1);
+            let chunk = rows.len().div_ceil(tasks).max(256);
+            new.par_chunks_mut(chunk).enumerate().for_each(|(ci, out)| {
+                let base = ci * chunk;
+                for (k, slot) in out.iter_mut().enumerate() {
+                    let i = rows[base + k];
+                    let sum = if interior {
+                        self.gs_offdiag_interior(i, r, xs)
+                    } else {
+                        self.gs_offdiag_masked(i, r, xs)
+                    };
+                    *slot = sum / diag;
+                }
+            });
+            // Scatter: same-color rows are independent, so order is free.
+            for (&i, &v) in rows.iter().zip(new.iter()) {
+                x[i] = v;
+            }
+        }
+    }
+
+    /// `r[i] − Σ_{j≠i} a_ij·x[j]` for an interior row — no bounds logic.
+    #[inline]
+    fn gs_offdiag_interior(&self, i: usize, r: &[f64], x: &[f64]) -> f64 {
+        let mut sum = r[i];
+        for l in 0..27 {
+            if l != CENTER {
+                sum -= self.lane_values[l] * x[(i as i64 + self.offsets[l]) as usize];
+            }
+        }
+        sum
+    }
+
+    /// The same update with per-lane bounds masking for boundary rows.
+    #[inline]
+    fn gs_offdiag_masked(&self, i: usize, r: &[f64], x: &[f64]) -> f64 {
+        let (nx, ny, nz) = self.dims;
+        let plane = nx * ny;
+        let iz = (i / plane) as i64;
+        let rem = i % plane;
+        let iy = (rem / nx) as i64;
+        let ix = (rem % nx) as i64;
+        let mut sum = r[i];
+        for l in 0..27 {
+            if l == CENTER {
+                continue;
+            }
+            let (jx, jy, jz) = (ix + DX[l], iy + DY[l], iz + DZ[l]);
+            if jx < 0 || jy < 0 || jz < 0 || jx >= nx as i64 || jy >= ny as i64 || jz >= nz as i64 {
+                continue;
+            }
+            sum -= self.lane_values[l] * x[(i as i64 + self.offsets[l]) as usize];
+        }
+        sum
+    }
+}
+
+impl SparseOp for StencilMatrix {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        StencilMatrix::spmv(self, x, y);
+    }
+    fn smooth(&self, r: &[f64], x: &mut [f64]) {
+        self.symgs_colored(r, x);
+    }
+}
+
+/// Number of coordinates in `[0, d)` with parity `p`.
+fn parity_count(d: usize, p: usize) -> usize {
+    if p == 0 {
+        d.div_ceil(2)
+    } else {
+        d / 2
+    }
+}
+
+/// Build the 8 parity color classes directly from the grid dimensions,
+/// rows filled in parallel (each color's list is a pure function of its
+/// position index — no scan over the grid, no triplet buffer).
+fn build_colors(nx: usize, ny: usize, nz: usize) -> Vec<ColorSet> {
+    (0..8)
+        .map(|c| {
+            let (px, py, pz) = (c & 1, (c >> 1) & 1, (c >> 2) & 1);
+            let (cx, cy, cz) = (
+                parity_count(nx, px),
+                parity_count(ny, py),
+                parity_count(nz, pz),
+            );
+            let m = cx * cy * cz;
+            let mut rows = vec![0usize; m];
+            if m > 0 {
+                rows.par_chunks_mut(4096).enumerate().for_each(|(ci, rc)| {
+                    let base = ci * 4096;
+                    for (k, slot) in rc.iter_mut().enumerate() {
+                        let t = base + k;
+                        let kx = t % cx;
+                        let ky = (t / cx) % cy;
+                        let kz = t / (cx * cy);
+                        *slot = ((pz + 2 * kz) * ny + (py + 2 * ky)) * nx + (px + 2 * kx);
+                    }
+                });
+            }
+            // Partition into interior / boundary once, at build time.
+            let plane = nx * ny;
+            let mut set = ColorSet::default();
+            for i in rows {
+                let iz = i / plane;
+                let rem = i % plane;
+                let iy = rem / nx;
+                let ix = rem % nx;
+                let interior =
+                    ix >= 1 && ix + 1 < nx && iy >= 1 && iy + 1 < ny && iz >= 1 && iz + 1 < nz;
+                if interior {
+                    set.interior.push(i);
+                } else {
+                    set.boundary.push(i);
+                }
+            }
+            set
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{build_hpcg_matrix, symgs};
+    use crate::matrix::norm2;
+
+    #[test]
+    fn nnz_matches_csr_on_assorted_grids() {
+        for (nx, ny, nz) in [(1, 1, 1), (2, 2, 2), (1, 5, 3), (4, 4, 4), (5, 3, 7)] {
+            let st = StencilMatrix::hpcg(nx, ny, nz);
+            let csr = build_hpcg_matrix(nx, ny, nz);
+            assert_eq!(st.n, csr.n, "{nx}x{ny}x{nz}");
+            assert_eq!(st.nnz(), csr.nnz(), "{nx}x{ny}x{nz}");
+        }
+    }
+
+    #[test]
+    fn spmv_is_bitwise_equal_to_csr() {
+        for (nx, ny, nz) in [(1, 1, 1), (2, 3, 1), (4, 4, 4), (7, 5, 3), (8, 8, 8)] {
+            let st = StencilMatrix::hpcg(nx, ny, nz);
+            let csr = build_hpcg_matrix(nx, ny, nz);
+            let x: Vec<f64> = (0..st.n).map(|i| (i as f64 * 0.73).sin() * 1e3).collect();
+            let mut ys = vec![0.0; st.n];
+            let mut yc = vec![0.0; st.n];
+            st.spmv(&x, &mut ys);
+            csr.spmv(&x, &mut yc);
+            for (i, (a, b)) in ys.iter().zip(&yc).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{nx}x{ny}x{nz} row {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colors_partition_the_grid_and_are_independent() {
+        let st = StencilMatrix::hpcg(5, 4, 3);
+        let mut seen = vec![false; st.n];
+        for set in &st.colors {
+            for &i in set.interior.iter().chain(&set.boundary) {
+                assert!(!seen[i], "row {i} in two colors");
+                seen[i] = true;
+            }
+            // No two same-color rows are stencil neighbours.
+            let all: Vec<usize> = set.interior.iter().chain(&set.boundary).copied().collect();
+            let coord = |i: usize| (i % 5, (i / 5) % 4, i / 20);
+            for (a, &ia) in all.iter().enumerate() {
+                for &ib in &all[a + 1..] {
+                    let (ax, ay, az) = coord(ia);
+                    let (bx, by, bz) = coord(ib);
+                    let adjacent =
+                        ax.abs_diff(bx) <= 1 && ay.abs_diff(by) <= 1 && az.abs_diff(bz) <= 1;
+                    assert!(!adjacent, "{ia} and {ib} share a color and are adjacent");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "coloring must cover every row");
+    }
+
+    #[test]
+    fn colored_symgs_reduces_the_residual() {
+        let st = StencilMatrix::hpcg(6, 6, 6);
+        let b = vec![1.0; st.n];
+        let mut x = vec![0.0; st.n];
+        st.symgs_colored(&b, &mut x);
+        let mut ax = vec![0.0; st.n];
+        st.spmv(&x, &mut ax);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(b, a)| b - a).collect();
+        assert!(norm2(&r) < norm2(&b), "one colored sweep reduces ‖r‖");
+    }
+
+    #[test]
+    fn colored_symgs_tracks_the_sequential_oracle() {
+        // Different update order ⇒ different iterates, but both are valid
+        // SymGS sweeps: comparable residual reduction on the same problem.
+        let (nx, ny, nz) = (8, 8, 8);
+        let st = StencilMatrix::hpcg(nx, ny, nz);
+        let csr = build_hpcg_matrix(nx, ny, nz);
+        let b: Vec<f64> = (0..st.n).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let residual = |x: &[f64]| {
+            let mut ax = vec![0.0; st.n];
+            csr.spmv(x, &mut ax);
+            norm2(&b.iter().zip(&ax).map(|(b, a)| b - a).collect::<Vec<_>>())
+        };
+        let mut x_col = vec![0.0; st.n];
+        st.symgs_colored(&b, &mut x_col);
+        let mut x_seq = vec![0.0; st.n];
+        symgs(&csr, &b, &mut x_seq);
+        let (rc, rs) = (residual(&x_col), residual(&x_seq));
+        assert!(rc < 0.5 * norm2(&b), "colored sweep residual {rc}");
+        assert!(rc < 3.0 * rs, "colored {rc} vs sequential {rs}");
+    }
+
+    #[test]
+    fn degenerate_and_thin_grids_work() {
+        for (nx, ny, nz) in [(1, 1, 1), (1, 6, 1), (2, 1, 5), (1, 4, 4)] {
+            let st = StencilMatrix::hpcg(nx, ny, nz);
+            let b = vec![1.0; st.n];
+            let mut x = vec![0.0; st.n];
+            st.symgs_colored(&b, &mut x);
+            assert!(x.iter().all(|v| v.is_finite()), "{nx}x{ny}x{nz}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero diagonal")]
+    fn zero_diagonal_is_diagnosed() {
+        let st = StencilMatrix::with_lane_values(3, 3, 3, [0.0; 27]);
+        let b = vec![1.0; st.n];
+        let mut x = vec![0.0; st.n];
+        st.symgs_colored(&b, &mut x);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate grid")]
+    fn empty_grid_rejected() {
+        StencilMatrix::hpcg(0, 3, 3);
+    }
+}

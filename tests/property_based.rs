@@ -199,6 +199,72 @@ proptest! {
     }
 
     #[test]
+    fn stencil_spmv_matches_csr_bitwise_and_dense_numerically(
+        nx in 1usize..6,
+        ny in 1usize..6,
+        nz in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        use kernels::cg::build_hpcg_matrix;
+        use kernels::stencil_matrix::StencilMatrix;
+        let csr = build_hpcg_matrix(nx, ny, nz);
+        let st = StencilMatrix::hpcg(nx, ny, nz);
+        prop_assert_eq!(st.n, csr.n);
+        prop_assert_eq!(st.nnz(), csr.nnz());
+        let n = csr.n;
+        let mut rng = simkit::rng::Pcg32::seeded(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut ys = vec![0.0; n];
+        let mut yc = vec![0.0; n];
+        st.spmv(&x, &mut ys);
+        csr.spmv(&x, &mut yc);
+        // Same lane/column accumulation order ⇒ identical bits, not just
+        // identical to tolerance.
+        for i in 0..n {
+            prop_assert_eq!(ys[i].to_bits(), yc[i].to_bits(), "row {} diverged", i);
+        }
+        // And both agree with a dense matvec of the same operator to
+        // round-off (the dense sum associates differently over the zeros).
+        let d = DenseMatrix::from_fn(n, n, |i, j| {
+            csr.row(i).find(|&(c, _)| c == j).map_or(0.0, |(_, v)| v)
+        });
+        let yd = d.matvec(&x);
+        for i in 0..n {
+            prop_assert!((ys[i] - yd[i]).abs() < 1e-10, "row {}: {} vs {}", i, ys[i], yd[i]);
+        }
+    }
+
+    #[test]
+    fn colored_symgs_reduces_residual_at_least_as_much_as_jacobi(
+        nx in 2usize..7,
+        ny in 2usize..7,
+        nz in 2usize..7,
+        seed in 0u64..500,
+    ) {
+        use kernels::matrix::norm2;
+        use kernels::stencil_matrix::StencilMatrix;
+        let st = StencilMatrix::hpcg(nx, ny, nz);
+        let n = st.n;
+        let mut rng = simkit::rng::Pcg32::seeded(seed);
+        let r: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let residual = |x: &[f64]| {
+            let mut ax = vec![0.0; n];
+            st.spmv(x, &mut ax);
+            norm2(&r.iter().zip(&ax).map(|(r, ax)| r - ax).collect::<Vec<_>>())
+        };
+        // One Jacobi sweep from a zero guess: x = D⁻¹·r (HPCG diag = 26).
+        let x_jacobi: Vec<f64> = r.iter().map(|v| v / 26.0).collect();
+        let mut x_gs = vec![0.0; n];
+        st.symgs_colored(&r, &mut x_gs);
+        prop_assert!(
+            residual(&x_gs) <= residual(&x_jacobi) * (1.0 + 1e-12),
+            "colored SymGS ({}) must smooth at least as hard as Jacobi ({})",
+            residual(&x_gs),
+            residual(&x_jacobi)
+        );
+    }
+
+    #[test]
     fn collective_costs_grow_with_participants(
         p in 2usize..512,
         bytes in 1.0f64..1e7,

@@ -16,6 +16,7 @@
 use kernels::cg::{build_hpcg_matrix, cg_solve};
 use kernels::gemm::gemm_blocked;
 use kernels::matrix::{dot, DenseMatrix};
+use kernels::stencil_matrix::StencilMatrix;
 use kernels::stream::{StreamArrays, StreamKernel};
 use proptest::prelude::*;
 use rayon::prelude::*;
@@ -85,6 +86,75 @@ fn spmv_is_bit_identical_at_1_2_8_threads() {
     let (y1, y2, y8) = (run(1), run(2), run(8));
     assert!(y1.iter().zip(&y2).all(|(p, q)| p.to_bits() == q.to_bits()));
     assert!(y1.iter().zip(&y8).all(|(p, q)| p.to_bits() == q.to_bits()));
+}
+
+#[test]
+fn stencil_spmv_is_bit_identical_at_1_2_8_threads_and_vs_csr() {
+    // The stencil-packed engine parallelizes over row chunks with the same
+    // chunk grid as the CSR path and accumulates each row's 27 lanes in
+    // ascending-column order — so it must match CSR bit-for-bit too.
+    let csr = build_hpcg_matrix(20, 20, 20);
+    let st = StencilMatrix::hpcg(20, 20, 20);
+    let x: Vec<f64> = (0..st.n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let run = |t: usize| {
+        at(t, || {
+            let mut y = vec![0.0; st.n];
+            st.spmv(&x, &mut y);
+            y
+        })
+    };
+    let (y1, y2, y8) = (run(1), run(2), run(8));
+    assert!(y1.iter().zip(&y2).all(|(p, q)| p.to_bits() == q.to_bits()));
+    assert!(y1.iter().zip(&y8).all(|(p, q)| p.to_bits() == q.to_bits()));
+    let mut yc = vec![0.0; csr.n];
+    at(1, || csr.spmv(&x, &mut yc));
+    assert!(
+        y1.iter().zip(&yc).all(|(p, q)| p.to_bits() == q.to_bits()),
+        "stencil SpMV diverged from the CSR oracle"
+    );
+}
+
+#[test]
+fn colored_symgs_is_bit_identical_at_1_2_8_threads() {
+    // The multicolor smoother computes each color's updates into a scratch
+    // buffer against a frozen x, then scatters sequentially — so the only
+    // parallel region writes disjoint scratch chunks and the arithmetic
+    // never depends on the pool width. Three compounding sweeps amplify
+    // any divergence.
+    let st = StencilMatrix::hpcg(16, 16, 16);
+    let r: Vec<f64> = (0..st.n).map(|i| 1.0 + (i % 17) as f64 * 0.03).collect();
+    let run = |t: usize| {
+        at(t, || {
+            let mut x = vec![0.0; st.n];
+            for _ in 0..3 {
+                st.symgs_colored(&r, &mut x);
+            }
+            x
+        })
+    };
+    let (x1, x2, x8) = (run(1), run(2), run(8));
+    assert!(x1.iter().zip(&x2).all(|(p, q)| p.to_bits() == q.to_bits()));
+    assert!(x1.iter().zip(&x8).all(|(p, q)| p.to_bits() == q.to_bits()));
+}
+
+#[test]
+fn stencil_cg_solve_is_bit_identical_at_1_and_8_threads() {
+    // The full HPCG path on the new engine: stencil SpMV + colored SymGS
+    // preconditioning through dozens of CG iterations.
+    let a = StencilMatrix::hpcg(12, 12, 12);
+    let b: Vec<f64> = (0..a.n).map(|i| 1.0 + (i % 13) as f64 * 0.01).collect();
+    let r1 = at(1, || cg_solve(&a, &b, 50, 1e-10, true));
+    let r8 = at(8, || cg_solve(&a, &b, 50, 1e-10, true));
+    assert_eq!(r1.iterations, r8.iterations);
+    assert_eq!(
+        r1.relative_residual.to_bits(),
+        r8.relative_residual.to_bits()
+    );
+    assert!(r1
+        .x
+        .iter()
+        .zip(&r8.x)
+        .all(|(p, q)| p.to_bits() == q.to_bits()));
 }
 
 #[test]
