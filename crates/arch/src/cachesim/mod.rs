@@ -1,0 +1,30 @@
+//! # cachesim — parametric A64FX-grade cache-hierarchy simulation
+//!
+//! A deterministic set-associative cache simulator driven by compact
+//! symbolic access traces, plus a predictor that turns the simulated
+//! per-level traffic into %-of-peak figures. This is the machinery that
+//! makes the paper's measured kernel efficiencies (STREAM 84 %, DGEMM
+//! 88 %, HPCG 2.9 %, stencil ~59 % of sustained) *outputs* of the model
+//! rather than hand-calibrated inputs.
+//!
+//! The module splits into four layers:
+//!
+//! * [`trace`] — the affine nested-loop trace descriptors kernels emit
+//!   from their `traffic_trace()` constructors.
+//! * [`config`] — parametric hierarchy descriptions: line size, sets,
+//!   ways, index hash (including the A64FX L2 XOR fold), write-allocate
+//!   policy, sector-cache way partitioning and next-line prefetch.
+//! * [`sim`] — the simulator itself, with full-line streaming-store
+//!   (zfill) handling and steady-state window extrapolation.
+//! * [`predict`] — the %-of-peak predictor combining port/issue modelling
+//!   with per-level supply bandwidth and measured sustained DRAM rates.
+
+pub mod config;
+pub mod predict;
+pub mod sim;
+pub mod trace;
+
+pub use config::{HierarchyConfig, IndexHash, LevelConfig, PrefetchConfig, SectorConfig};
+pub use predict::{KernelSpec, LevelLoad, PortModel, Prediction, Predictor};
+pub use sim::{CacheSim, LevelStats, SimResult};
+pub use trace::{Access, ArrayDecl, ArrayId, Loop, Node, OpMix, Trace, TraceBuilder, Window};

@@ -15,6 +15,8 @@
 //! * [`isa`] — vector ISA descriptions (NEON, SVE, AVX-512) and precisions.
 //! * [`cpu`] — per-core execution model (FMA pipes, scalar ILP strength).
 //! * [`cache`] — cache hierarchies.
+//! * [`cachesim`] — parametric set-associative cache simulation over
+//!   symbolic access traces, and the %-of-peak predictor built on it.
 //! * [`memory`] — NUMA domains and sustained-bandwidth models, including
 //!   the OpenMP cross-CMG ring-bus penalty and the MPI-per-CMG locality
 //!   model that reproduce the paper's STREAM results.
@@ -29,6 +31,7 @@
 
 pub mod builder;
 pub mod cache;
+pub mod cachesim;
 pub mod compiler;
 pub mod cost;
 pub mod cpu;
@@ -40,6 +43,9 @@ pub mod power;
 pub mod roofline;
 
 pub use cache::{CacheHierarchy, CacheLevel};
+pub use cachesim::{
+    CacheSim, HierarchyConfig, KernelSpec, Prediction, Predictor, Trace, TraceBuilder,
+};
 pub use compiler::{Compiler, CompilerId, Language};
 pub use cost::{CostModel, KernelProfile};
 pub use cpu::CoreModel;

@@ -9,6 +9,9 @@
 //! cluster-eval bench-all --json     measure host kernel throughput (1 thread vs pool)
 //!                                   and print the BENCH_host.json snapshot
 //! cluster-eval report [dir]         write all artifacts to <dir> (default ./report)
+//! cluster-eval cache-model [--machine cte-arm|mn4]
+//!                                   per-level hit/miss/traffic tables and %-of-peak
+//!                                   predictions from the cache-hierarchy simulator
 //! cluster-eval table4               shortcut for the speedup summary
 //! cluster-eval faults --campaign <name> [--jobs N] [--csv]
 //!                                   run an F-series fault-injection campaign
@@ -26,7 +29,8 @@ fn usage() -> ExitCode {
         "usage:\n  cluster-eval list\n  cluster-eval run <id> [--csv]\n  \
          cluster-eval run --all [--jobs N] [--filter GLOB]\n  \
          cluster-eval bench-all [--csv|--json]\n  \
-         cluster-eval report [dir]\n  cluster-eval table4\n  cluster-eval validate\n  \
+         cluster-eval report [dir]\n  cluster-eval cache-model [--machine cte-arm|mn4]\n  \
+         cluster-eval table4\n  cluster-eval validate\n  \
          cluster-eval faults --campaign <name> [--jobs N] [--csv]\n  \
          cluster-eval faults --list"
     );
@@ -147,8 +151,12 @@ fn bench_all(csv: bool, json: bool) -> ExitCode {
     if json {
         // Host-kernel mode: measure what the parallel runtime delivers on
         // *this* machine (1 thread vs full pool) and emit the
-        // BENCH_host.json snapshot format.
-        print!("{}", cluster_eval::hostbench::run_host_bench().to_json());
+        // BENCH_host.json snapshot format, with the deterministic
+        // cache-model predictions spliced in as a "cache" section.
+        let hb = cluster_eval::hostbench::run_host_bench();
+        let cache = cluster_eval::cachemodel::cache_json_block(&arch::machines::cte_arm())
+            .expect("the CTE-Arm model always has a hierarchy config");
+        print!("{}", hb.to_json_with(&cache));
         return ExitCode::SUCCESS;
     }
     let ctx = Ctx::new();
@@ -289,6 +297,32 @@ fn main() -> ExitCode {
             } else {
                 println!("\n{failing} checks FAIL");
                 ExitCode::FAILURE
+            }
+        }
+        Some("cache-model") => {
+            let machine = match args.iter().position(|a| a == "--machine") {
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some("cte-arm") => arch::machines::cte_arm(),
+                    Some("mn4") => arch::machines::marenostrum4(),
+                    other => {
+                        eprintln!(
+                            "unknown --machine '{}' — known: cte-arm, mn4",
+                            other.unwrap_or("")
+                        );
+                        return usage();
+                    }
+                },
+                None => arch::machines::cte_arm(),
+            };
+            match cluster_eval::cachemodel::render_report(&machine) {
+                Some(r) => {
+                    print!("{r}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("no hierarchy config for machine '{}'", machine.name);
+                    ExitCode::FAILURE
+                }
             }
         }
         Some("faults") => run_faults(&args[1..]),

@@ -15,7 +15,9 @@
 //! implementations, so these numbers move when the runtime or the kernels
 //! do.
 
-use arch::cost::{spmv_csr_bytes, spmv_stencil_bytes};
+use arch::cost::{
+    spmv_csr_bytes, spmv_csr_moved_bytes, spmv_stencil_bytes, spmv_stencil_moved_bytes,
+};
 use interconnect::link::LinkModel;
 use interconnect::network::Network;
 use interconnect::routing::{all_pairs_loads, RouteSteps};
@@ -126,14 +128,23 @@ pub struct HpcgBench {
     pub grid: String,
     /// CSR SpMV flop rate under the full pool, GFLOP/s.
     pub spmv_csr_gflops: f64,
-    /// CSR SpMV effective traffic under the full pool, GB/s (modelled
-    /// bytes from [`spmv_csr_bytes`] over measured wall time).
-    pub spmv_csr_gbs: f64,
+    /// CSR SpMV *model-DRAM* traffic under the full pool, GB/s (minimal
+    /// main-memory bytes from [`spmv_csr_bytes`] over measured wall time).
+    pub spmv_csr_gbs_model: f64,
+    /// CSR SpMV *moved* traffic, GB/s ([`spmv_csr_moved_bytes`]: what the
+    /// loop actually touches). Comparable across matrix formats, unlike
+    /// the model number.
+    pub spmv_csr_gbs_moved: f64,
     /// Stencil-packed SpMV flop rate under the full pool, GFLOP/s.
     pub spmv_stencil_gflops: f64,
-    /// Stencil-packed SpMV effective traffic under the full pool, GB/s
-    /// (modelled bytes from [`spmv_stencil_bytes`]).
-    pub spmv_stencil_gbs: f64,
+    /// Stencil-packed SpMV *model-DRAM* traffic under the full pool, GB/s
+    /// ([`spmv_stencil_bytes`]: just the `x`/`y` streams). Dividing by
+    /// these few bytes makes a *faster* kernel print a *smaller* GB/s than
+    /// CSR — never compare this column across formats.
+    pub spmv_stencil_gbs_model: f64,
+    /// Stencil-packed SpMV *moved* traffic, GB/s
+    /// ([`spmv_stencil_moved_bytes`]): the format-comparable number.
+    pub spmv_stencil_gbs_moved: f64,
     /// Sequential (oracle) SymGS sweeps per second.
     pub symgs_seq_sweeps_per_sec: f64,
     /// Parallel multicolor SymGS sweeps per second under the full pool.
@@ -451,9 +462,11 @@ pub fn run_hpcg_bench(pool_threads: usize) -> HpcgBench {
     HpcgBench {
         grid: format!("{nx}x{ny}x{nz}"),
         spmv_csr_gflops: flops / spmv_csr_secs / 1e9,
-        spmv_csr_gbs: spmv_csr_bytes(n, csr.nnz()) * reps as f64 / spmv_csr_secs / 1e9,
+        spmv_csr_gbs_model: spmv_csr_bytes(n, csr.nnz()) * reps as f64 / spmv_csr_secs / 1e9,
+        spmv_csr_gbs_moved: spmv_csr_moved_bytes(n, csr.nnz()) * reps as f64 / spmv_csr_secs / 1e9,
         spmv_stencil_gflops: flops / spmv_st_secs / 1e9,
-        spmv_stencil_gbs: spmv_stencil_bytes(n) * reps as f64 / spmv_st_secs / 1e9,
+        spmv_stencil_gbs_model: spmv_stencil_bytes(n) * reps as f64 / spmv_st_secs / 1e9,
+        spmv_stencil_gbs_moved: spmv_stencil_moved_bytes(n) * reps as f64 / spmv_st_secs / 1e9,
         symgs_seq_sweeps_per_sec: sweep_reps as f64 / symgs_seq_secs,
         symgs_colored_sweeps_per_sec: sweep_reps as f64 / symgs_col_secs,
         vcycle_ms_1t: vcycle_ms(1),
@@ -576,14 +589,25 @@ impl HostBench {
             "    \"spmv_csr_gflops\": {:.3},\n",
             hp.spmv_csr_gflops
         ));
-        out.push_str(&format!("    \"spmv_csr_gbs\": {:.3},\n", hp.spmv_csr_gbs));
+        out.push_str(&format!(
+            "    \"spmv_csr_gbs_model\": {:.3},\n",
+            hp.spmv_csr_gbs_model
+        ));
+        out.push_str(&format!(
+            "    \"spmv_csr_gbs_moved\": {:.3},\n",
+            hp.spmv_csr_gbs_moved
+        ));
         out.push_str(&format!(
             "    \"spmv_stencil_gflops\": {:.3},\n",
             hp.spmv_stencil_gflops
         ));
         out.push_str(&format!(
-            "    \"spmv_stencil_gbs\": {:.3},\n",
-            hp.spmv_stencil_gbs
+            "    \"spmv_stencil_gbs_model\": {:.3},\n",
+            hp.spmv_stencil_gbs_model
+        ));
+        out.push_str(&format!(
+            "    \"spmv_stencil_gbs_moved\": {:.3},\n",
+            hp.spmv_stencil_gbs_moved
         ));
         out.push_str(&format!(
             "    \"spmv_format_speedup\": {:.3},\n",
@@ -659,6 +683,20 @@ impl HostBench {
         out.push_str("  }\n}\n");
         out
     }
+
+    /// [`Self::to_json`] with an extra pre-rendered top-level section
+    /// spliced in before the closing brace (e.g. the deterministic
+    /// `"cache"` block from the cache-model predictor, which is not a
+    /// host measurement and so does not live in the struct).
+    pub fn to_json_with(&self, extra_section: &str) -> String {
+        let base = self.to_json();
+        let trimmed = base
+            .trim_end()
+            .strip_suffix('}')
+            .expect("to_json always closes the object")
+            .trim_end();
+        format!("{trimmed},\n{extra_section}\n}}\n")
+    }
 }
 
 #[cfg(test)]
@@ -682,9 +720,11 @@ mod tests {
         HpcgBench {
             grid: "32x32x32".into(),
             spmv_csr_gflops: 2.0,
-            spmv_csr_gbs: 18.0,
+            spmv_csr_gbs_model: 18.0,
+            spmv_csr_gbs_moved: 26.0,
             spmv_stencil_gflops: 6.0,
-            spmv_stencil_gbs: 3.0,
+            spmv_stencil_gbs_model: 3.0,
+            spmv_stencil_gbs_moved: 42.0,
             symgs_seq_sweeps_per_sec: 100.0,
             symgs_colored_sweeps_per_sec: 250.0,
             vcycle_ms_1t: 40.0,
@@ -721,6 +761,10 @@ mod tests {
         assert!(j.contains("\"sweep_speedup\": 4.000"));
         assert!(j.contains("\"hpcg\": {"));
         assert!(j.contains("\"grid\": \"32x32x32\""));
+        assert!(j.contains("\"spmv_csr_gbs_model\": 18.000"));
+        assert!(j.contains("\"spmv_csr_gbs_moved\": 26.000"));
+        assert!(j.contains("\"spmv_stencil_gbs_model\": 3.000"));
+        assert!(j.contains("\"spmv_stencil_gbs_moved\": 42.000"));
         assert!(j.contains("\"spmv_format_speedup\": 3.000"));
         assert!(j.contains("\"symgs_speedup\": 2.500"));
         assert!(j.contains("\"vcycle_wall_ms_4_threads\": 10.00"));
@@ -769,6 +813,27 @@ mod tests {
         assert_eq!(nw.resolve_speedup(), 5.0);
         nw.baseline_routes_per_sec = 0.0;
         assert_eq!(nw.resolve_speedup(), 0.0);
+    }
+
+    #[test]
+    fn spmv_moved_gbs_is_format_comparable() {
+        // Regression for the old report: dividing the stencil kernel's
+        // time by its tiny model-byte count printed ~1 GB/s against CSR's
+        // ~17 GB/s for a *faster* kernel. The moved-byte columns must put
+        // both formats in the same band.
+        let hp = run_hpcg_bench(2);
+        assert!(
+            hp.spmv_stencil_gflops > 0.0 && hp.spmv_csr_gflops > 0.0,
+            "bench must produce nonzero rates"
+        );
+        let ratio = hp.spmv_stencil_gbs_moved / hp.spmv_csr_gbs_moved;
+        assert!(
+            ratio > 0.2 && ratio < 5.0,
+            "moved-GB/s ratio stencil/CSR out of band: {ratio}"
+        );
+        // The faster format must never report less moved traffic per
+        // second than it reports arithmetic — sanity tie between columns.
+        assert!(hp.spmv_stencil_gbs_moved > hp.spmv_stencil_gbs_model);
     }
 
     #[test]

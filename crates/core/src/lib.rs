@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cachemodel;
 pub mod engine;
 pub mod experiments;
 pub mod extensions;

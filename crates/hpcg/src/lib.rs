@@ -176,6 +176,34 @@ pub fn simulate(machine: &Machine, nodes: usize, cfg: &HpcgConfig) -> HpcgResult
     }
 }
 
+/// Symbolic access trace of one rank's SpMV over the local grid — the
+/// dominant memory pattern of the CG iteration (SymGS touches the same
+/// arrays with the same indirection).
+pub fn traffic_trace(cfg: &HpcgConfig) -> arch::Trace {
+    kernels::cg::spmv_csr_traffic_trace(cfg.nx as u64, cfg.ny as u64, cfg.nz as u64)
+}
+
+/// Fraction-of-peak predicted by the cache-hierarchy model rather than
+/// the calibrated [`bytes_per_flop`] table: simulates the local-grid
+/// SpMV trace through the machine's cache hierarchy and port model.
+/// Returns `None` for machines the trace predictor has no hierarchy
+/// config for. [`simulate`] is untouched — this is the differential
+/// check that the calibrated path and the mechanistic path agree.
+pub fn cache_model_fraction_of_peak(machine: &Machine, cfg: &HpcgConfig) -> Option<f64> {
+    let predictor = arch::cachesim::Predictor::for_machine(machine)?;
+    let trace = traffic_trace(cfg);
+    let n = cfg.local_points() as f64;
+    let spec = arch::KernelSpec {
+        name: "hpcg_spmv".into(),
+        // SpMV flops of the full 27-lane unroll, matching the trace.
+        flops: 2.0 * 27.0 * n,
+        counted_bytes: trace.nominal_bytes() as f64,
+        vectorizable: 1.0,
+        tuned: cfg.version == HpcgVersion::Optimized,
+    };
+    Some(predictor.predict(&spec, &trace).pct_peak_flops)
+}
+
 /// [`simulate`] through a [`simkit::cache::Cache`]: Fig. 7 and Table IV
 /// run the same `(machine, nodes, config)` points, so whoever runs first
 /// pays and the rest reuse.
@@ -315,5 +343,28 @@ mod tests {
         let mut cfg = HpcgConfig::paper(HpcgVersion::Optimized);
         cfg.ranks_per_node = 49;
         simulate(&cte, 1, &cfg);
+    }
+
+    #[test]
+    fn cache_model_agrees_with_calibrated_path() {
+        // The mechanistic cache-model prediction and the calibrated
+        // bytes-per-flop table must land in the same regime — both say
+        // "a few percent of peak" for the vendor build on the A64FX.
+        let cte = cte_arm();
+        let cfg = HpcgConfig::paper(HpcgVersion::Optimized);
+        let calibrated = simulate(&cte, 1, &cfg).fraction_of_peak;
+        let modeled = cache_model_fraction_of_peak(&cte, &cfg).unwrap();
+        assert!(
+            modeled > 0.5 * calibrated && modeled < 2.0 * calibrated,
+            "cache model {modeled} vs calibrated {calibrated}"
+        );
+    }
+
+    #[test]
+    fn cache_model_skips_unknown_machines() {
+        let mut m = cte_arm();
+        m.name = "unknown".into();
+        let cfg = HpcgConfig::paper(HpcgVersion::Optimized);
+        assert!(cache_model_fraction_of_peak(&m, &cfg).is_none());
     }
 }

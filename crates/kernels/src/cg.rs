@@ -44,6 +44,45 @@ pub fn build_hpcg_matrix(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
     CsrMatrix::from_triplets(n, &triplets)
 }
 
+/// Symbolic access trace of one CSR SpMV over an `nx × ny × nz` grid
+/// shard (one core's slice of the HPCG operator).
+///
+/// Each row is modelled with a full 27-lane unroll: `col_idx` and
+/// `values` stream at stride `27·8`, and the 27 `x` reads are
+/// **gather-marked** indexed loads whose footprint is approximated by
+/// the affine stencil offsets (`x` carries a one-plane halo margin so
+/// corner lanes stay in bounds). Boundary rows really have fewer
+/// non-zeros; the dense-27 approximation overcounts their traffic by
+/// the surface-to-volume ratio, which is < 10 % at the sizes used here.
+pub fn spmv_csr_traffic_trace(nx: u64, ny: u64, nz: u64) -> arch::Trace {
+    assert!(nx >= 2 && ny >= 2 && nz >= 2, "degenerate trace grid");
+    let n = nx * ny * nz;
+    let margin = nx * ny + nx + 1; // widest stencil reach: (+1,+1,+1)
+    let mut t = arch::TraceBuilder::new("spmv_csr");
+    let row_ptr = t.array("row_ptr", 8 * (n + 1));
+    let col_idx = t.array("col_idx", 8 * 27 * n);
+    let values = t.array("values", 8 * 27 * n);
+    let x = t.array("x", 8 * (n + 2 * margin));
+    let y = t.array("y", 8 * n);
+    t.open(n);
+    t.read(row_ptr, 0, &[8]);
+    let mut lane = 0i64;
+    for dz in -1i64..=1 {
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let off = (dz * ny as i64 + dy) * nx as i64 + dx;
+                t.read(col_idx, 8 * lane, &[8 * 27]);
+                t.read(values, 8 * lane, &[8 * 27]);
+                t.read_gather(x, 8 * (margin as i64 + off), &[8]);
+                lane += 1;
+            }
+        }
+    }
+    t.write(y, 0, &[8]);
+    t.close();
+    t.build()
+}
+
 /// One symmetric Gauss–Seidel sweep (forward then backward), HPCG's
 /// preconditioner. `x` is updated in place to approximately solve `A·x = r`.
 ///
@@ -301,5 +340,18 @@ mod tests {
         assert_eq!(short.iterations, 2);
         assert_eq!(long.iterations, 8);
         assert!(long.flops > 3.0 * short.flops);
+    }
+
+    #[test]
+    fn csr_traffic_trace_is_indirection_heavy() {
+        let trace = spmv_csr_traffic_trace(16, 16, 16);
+        let n = 16u64 * 16 * 16;
+        // Per row: row_ptr + 27·(col_idx + values + x) + y store.
+        assert_eq!(trace.nominal_accesses(), n * (1 + 27 * 3 + 1));
+        let mix = trace.op_mix();
+        // Exactly the 27 x-lanes per row are gathers — a third of loads.
+        assert_eq!(mix.gather_loads, (27 * n) as f64);
+        let gf = mix.gather_fraction();
+        assert!((gf - 27.0 / 82.0).abs() < 1e-12, "gather fraction {gf}");
     }
 }

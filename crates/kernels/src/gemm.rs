@@ -100,6 +100,74 @@ pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
     2 * m as u64 * n as u64 * k as u64
 }
 
+/// Micro-kernel register-tile rows used by [`gemm_traffic_trace`]
+/// (two 512-bit SVE vectors of doubles).
+pub const TRACE_MR: u64 = 16;
+/// Micro-kernel register-tile columns used by [`gemm_traffic_trace`].
+pub const TRACE_NR: u64 = 4;
+/// Columns of `C` handled per outer chunk (the `A` panel is re-packed
+/// once per chunk, matching [`gemm_blocked`]'s column partitioning).
+pub const TRACE_JC: u64 = 64;
+
+/// Symbolic access trace of a packed blocked DGEMM on one core.
+///
+/// Per `TRACE_JC`-column chunk of `C`, the `A` panel is packed once into
+/// a contiguous scratch buffer (column-major reads at unit stride, the
+/// pack step real BLAS kernels pay precisely to avoid the 2 KiB-stride
+/// conflict misses a direct `A` walk would take in a 64-set L1), then an
+/// `MR×NR` register tile marches down the full `k` depth streaming
+/// packed-`A` columns and broadcast `B` entries, spilling each `C` tile
+/// once. The packed panel lives in L2 across tiles, so simulated DRAM
+/// traffic is near-compulsory and the kernel lands compute-bound —
+/// exactly the regime HPL's trailing-submatrix update runs in.
+///
+/// `m` must be a multiple of [`TRACE_MR`], `n` of [`TRACE_JC`].
+pub fn gemm_traffic_trace(m: u64, n: u64, k: u64) -> arch::Trace {
+    assert!(
+        m.is_multiple_of(TRACE_MR) && n.is_multiple_of(TRACE_JC),
+        "trace dims must be tile multiples"
+    );
+    let mut t = arch::TraceBuilder::new("dgemm");
+    let a = t.array("a", 8 * m * k);
+    let b = t.array("b", 8 * k * n);
+    let c = t.array("c", 8 * m * n);
+    let apack = t.array("apack", 8 * m * k);
+    let (mi, ki) = (m as i64, k as i64);
+    let (mr, nr, jc) = (TRACE_MR as i64, TRACE_NR as i64, TRACE_JC as i64);
+    t.open(n / TRACE_JC); // j0: C column chunks
+                          // Pack the A panel once per chunk: a[kk·m + iB·MR + ii] →
+                          // apack[iB·MR·k + kk·MR + ii].
+    t.open(m / TRACE_MR); // iB
+    t.open(k); // kk
+    t.open(TRACE_MR); // ii
+    t.read(a, 0, &[0, 8 * mr, 8 * mi, 8]);
+    t.write(apack, 0, &[0, 8 * mr * ki, 8 * mr, 8]);
+    t.close();
+    t.close();
+    t.close();
+    // Micro-kernels over the chunk.
+    t.open(m / TRACE_MR); // iB
+    t.open(TRACE_JC / TRACE_NR); // jB: NR-tiles within the chunk
+    t.open(k); // kk: rank-1 updates
+    t.open(TRACE_MR); // ii: one packed A column
+    t.read(apack, 0, &[0, 8 * mr * ki, 0, 8 * mr, 8]);
+    t.close();
+    t.open(TRACE_NR); // jj: NR broadcast B entries
+    t.read(b, 0, &[8 * jc * ki, 0, 8 * nr * ki, 8, 8 * ki]);
+    t.close();
+    t.close(); // kk
+    t.open(TRACE_NR); // spill the accumulated C tile: RMW per column
+    t.open(TRACE_MR);
+    t.read(c, 0, &[8 * jc * mi, 8 * mr, 8 * nr * mi, 8 * mi, 8]);
+    t.write(c, 0, &[8 * jc * mi, 8 * mr, 8 * nr * mi, 8 * mi, 8]);
+    t.close();
+    t.close();
+    t.close(); // jB
+    t.close(); // iB
+    t.close(); // j0
+    t.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +260,26 @@ mod tests {
         let b = DenseMatrix::zeros(4, 5);
         let mut c = DenseMatrix::zeros(4, 5);
         gemm_blocked(&a, &b, &mut c);
+    }
+
+    #[test]
+    fn traffic_trace_counts_microkernel_operands() {
+        let (m, n, k) = (64u64, 64u64, 64u64);
+        let trace = gemm_traffic_trace(m, n, k);
+        // Per chunk: the A panel is packed (read + write), then per
+        // micro k-step the kernel touches MR packed-A elements and NR
+        // B-elements; each C tile spills (read + write) once.
+        let chunks = n / TRACE_JC;
+        let steps = (m / TRACE_MR) * (n / TRACE_NR) * k;
+        let expected = 8 * (2 * m * k * chunks + steps * (TRACE_MR + TRACE_NR) + 2 * m * n);
+        assert_eq!(trace.nominal_bytes(), expected);
+        // Dense FMA work: no gathers anywhere.
+        assert_eq!(trace.op_mix().gather_loads, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile multiples")]
+    fn traffic_trace_rejects_ragged_tiles() {
+        gemm_traffic_trace(100, 64, 64);
     }
 }

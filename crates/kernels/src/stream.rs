@@ -45,6 +45,45 @@ impl StreamKernel {
         StreamKernel::Add,
         StreamKernel::Triad,
     ];
+
+    /// Symbolic access trace of one core's `n`-element shard, for the
+    /// cache simulator. Store targets use full-line streaming stores
+    /// (zfill) on the A64FX, so simulated DRAM traffic matches STREAM's
+    /// counting convention exactly: no write-allocate fetch.
+    pub fn traffic_trace(self, n: u64) -> arch::Trace {
+        let mut t = arch::TraceBuilder::new(match self {
+            StreamKernel::Copy => "stream_copy",
+            StreamKernel::Scale => "stream_scale",
+            StreamKernel::Add => "stream_add",
+            StreamKernel::Triad => "stream_triad",
+        });
+        let a = t.array("a", 8 * n);
+        let b = t.array("b", 8 * n);
+        let c = t.array("c", 8 * n);
+        t.open(n);
+        match self {
+            StreamKernel::Copy => {
+                t.read(a, 0, &[8]);
+                t.write(c, 0, &[8]);
+            }
+            StreamKernel::Scale => {
+                t.read(c, 0, &[8]);
+                t.write(b, 0, &[8]);
+            }
+            StreamKernel::Add => {
+                t.read(a, 0, &[8]);
+                t.read(b, 0, &[8]);
+                t.write(c, 0, &[8]);
+            }
+            StreamKernel::Triad => {
+                t.read(b, 0, &[8]);
+                t.read(c, 0, &[8]);
+                t.write(a, 0, &[8]);
+            }
+        }
+        t.close();
+        t.build()
+    }
 }
 
 /// Working arrays for a STREAM run.
@@ -240,5 +279,18 @@ mod tests {
     #[should_panic(expected = "empty STREAM")]
     fn zero_length_rejected() {
         StreamArrays::new(0);
+    }
+
+    #[test]
+    fn traffic_traces_match_stream_byte_counting() {
+        let n = 4096u64;
+        for k in StreamKernel::ALL {
+            let trace = k.traffic_trace(n);
+            assert_eq!(
+                trace.nominal_bytes(),
+                k.bytes_per_element() as u64 * n,
+                "{k:?} trace disagrees with bytes_per_element"
+            );
+        }
     }
 }

@@ -1,0 +1,187 @@
+//! Property-based tests for the cache-hierarchy simulator: structural
+//! invariants that must hold for *any* trace and configuration, not just
+//! the registry kernels.
+
+use arch::cachesim::{CacheSim, HierarchyConfig, SimResult, Trace, TraceBuilder};
+use kernels::stream::StreamKernel;
+use proptest::prelude::*;
+
+/// A random multi-array streaming trace: 1–3 arrays, each read or
+/// read+written with a random element stride over a random trip count.
+/// Sector tags alternate so sectored configs see both classes.
+fn random_trace(arrays: usize, n: u64, strides: Vec<i64>, writes: Vec<bool>) -> Trace {
+    let mut t = TraceBuilder::new("random");
+    let ids: Vec<_> = (0..arrays)
+        .map(|i| {
+            let bytes = 8 * n * strides[i].unsigned_abs().max(1);
+            t.array_in_sector(&format!("a{i}"), bytes, (i % 2) as u8)
+        })
+        .collect();
+    t.open(n);
+    for (i, &id) in ids.iter().enumerate() {
+        let coef = 8 * strides[i];
+        // Negative strides walk downward from the top of the array.
+        let base = if coef < 0 { -coef * (n as i64 - 1) } else { 0 };
+        t.read(id, base, &[coef]);
+        if writes[i] {
+            t.write(id, base, &[coef]);
+        }
+    }
+    t.close();
+    t.build()
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    const STRIDES: [i64; 4] = [1, 2, 7, -1];
+    (
+        1usize..=3,
+        64u64..4096,
+        proptest::collection::vec(0usize..STRIDES.len(), 3),
+        proptest::collection::vec(any::<bool>(), 3),
+    )
+        .prop_map(|(arrays, n, stride_idx, writes)| {
+            let strides = stride_idx.into_iter().map(|i| STRIDES[i]).collect();
+            random_trace(arrays, n, strides, writes)
+        })
+}
+
+fn configs() -> Vec<HierarchyConfig> {
+    vec![
+        HierarchyConfig::a64fx_core(),
+        HierarchyConfig::a64fx_cmg(),
+        HierarchyConfig::a64fx_core_sectored(4),
+        HierarchyConfig::skylake_core(),
+    ]
+}
+
+proptest! {
+    /// Demand lookups partition exactly into hits and misses at every
+    /// level, for every hierarchy.
+    #[test]
+    fn hits_plus_misses_equals_accesses(trace in trace_strategy()) {
+        for cfg in configs() {
+            let r = CacheSim::new(cfg).run(&trace);
+            for lvl in &r.levels {
+                prop_assert_eq!(
+                    lvl.hits + lvl.misses,
+                    lvl.accesses,
+                    "{} violates the hit/miss partition", lvl.name
+                );
+            }
+        }
+    }
+
+    /// Growing the working set never *reduces* DRAM traffic: a larger
+    /// STREAM shard moves at least as many bytes.
+    #[test]
+    fn dram_traffic_is_monotone_in_working_set(
+        n in 1024u64..16384,
+        extra in 1u64..8192,
+        use_triad in any::<bool>(),
+    ) {
+        let kernel = if use_triad { StreamKernel::Triad } else { StreamKernel::Copy };
+        let sim = CacheSim::new(HierarchyConfig::a64fx_core());
+        let small = sim.run(&kernel.traffic_trace(n));
+        let large = sim.run(&kernel.traffic_trace(n + extra));
+        prop_assert!(
+            large.dram_bytes() >= small.dram_bytes(),
+            "DRAM traffic shrank when the working set grew: {} -> {}",
+            small.dram_bytes(), large.dram_bytes()
+        );
+    }
+
+    /// A working set that fits in cache incurs only cold misses: re-reading
+    /// it for more iterations adds ZERO DRAM reads. (The steady state is
+    /// fully cache-resident.)
+    #[test]
+    fn cache_resident_reread_has_zero_steady_state_dram_reads(
+        n in 64u64..2048,       // ≤ 16 KiB, well inside the 64 KiB L1d
+        trips in 2u64..6,
+    ) {
+        let build = |trips: u64| {
+            let mut t = TraceBuilder::new("reread");
+            let a = t.array("a", 8 * n);
+            t.open(trips);
+            t.open(n);
+            t.read(a, 0, &[0, 8]);
+            t.close();
+            t.close();
+            t.build()
+        };
+        let sim = CacheSim::new(HierarchyConfig::a64fx_core());
+        let once = sim.run(&build(trips));
+        let more = sim.run(&build(trips * 2));
+        prop_assert_eq!(
+            once.dram_read_lines, more.dram_read_lines,
+            "extra iterations over a cache-resident array caused DRAM reads"
+        );
+    }
+
+    /// The per-sector fill breakdown is a complete decomposition of the
+    /// fills at every level — no line install escapes the sector split —
+    /// and partitioning the L2 leaves the (unpartitioned) L1 behaviour
+    /// bit-identical.
+    #[test]
+    fn sector_partition_fills_sum_to_total(
+        trace in trace_strategy(),
+        streaming_ways in 1u32..14,
+    ) {
+        let plain = CacheSim::new(HierarchyConfig::a64fx_core()).run(&trace);
+        let sectored =
+            CacheSim::new(HierarchyConfig::a64fx_core_sectored(streaming_ways)).run(&trace);
+        for r in [&plain, &sectored] {
+            // Innermost level: installs are exactly demand + prefetch +
+            // zfill (writeback-allocates only happen outward).
+            let l1 = &r.levels[0];
+            prop_assert_eq!(
+                l1.sector_fills[0] + l1.sector_fills[1],
+                l1.demand_fills + l1.prefetch_fills + l1.zfill_allocs,
+                "L1 sector fills are not a complete decomposition"
+            );
+            // Outer levels additionally absorb writeback-allocates, so the
+            // sector sum can only exceed the demand-side counters.
+            for lvl in &r.levels[1..] {
+                prop_assert!(
+                    lvl.sector_fills[0] + lvl.sector_fills[1]
+                        >= lvl.demand_fills + lvl.prefetch_fills + lvl.zfill_allocs,
+                    "{} lost fills from the sector breakdown", lvl.name
+                );
+            }
+        }
+        prop_assert_eq!(
+            &plain.levels[0], &sectored.levels[0],
+            "partitioning the L2 must not change L1 behaviour"
+        );
+    }
+}
+
+/// The simulator is sequential and deterministic; running it inside
+/// differently-sized rayon pools (as the bench harness and the engine do)
+/// must give bit-identical results.
+#[test]
+fn results_are_bit_identical_across_thread_pools() {
+    let run_in_pool = |threads: usize| -> Vec<SimResult> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build rayon pool");
+        pool.install(|| {
+            let sim = CacheSim::new(HierarchyConfig::a64fx_core());
+            vec![
+                sim.run(&StreamKernel::Triad.traffic_trace(1 << 14)),
+                sim.run(&kernels::stencil::ocean_traffic_trace(256, 64)),
+                sim.run(&kernels::stencil_matrix::stencil_spmv_traffic_trace(
+                    16, 16, 16,
+                )),
+            ]
+        })
+    };
+    let base = run_in_pool(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            base,
+            run_in_pool(threads),
+            "simulation results differ under a {threads}-thread pool"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Cache-model validation: the simulator's %-of-peak predictions are
+//! pinned against the paper's *measured* efficiencies, and the full
+//! prediction table is golden-snapshotted so any model drift shows up as
+//! a reviewable diff.
+//!
+//! Anchors (CTE-Arm / A64FX, from the paper's single-node results):
+//!
+//! * STREAM Triad sustains ~84 % of the 1024 GB/s nominal HBM2 peak —
+//!   the model's 862.6 GB/s sustained calibration, which the predictor
+//!   must now *reproduce* from simulated DRAM traffic.
+//! * DGEMM: vendor BLAS reaches 88 % of peak at node level. The trace
+//!   models only the packed micro-kernel (no panel factorisation,
+//!   pivoting or edge tiles), so its prediction is an idealised upper
+//!   bound: it must land at or above the vendor figure and at or below
+//!   100 %.
+//! * CSR SpMV (HPCG-style 27-pt problem) reaches ~2.9 % of peak flops.
+//! * The ocean shallow-water stencil sustains ~59 % of peak bandwidth.
+//!
+//! Regenerate the snapshot after an intended recalibration with
+//! `UPDATE_GOLDEN=1 cargo test --test cache_model_validation`.
+
+use arch::cachesim::{CacheSim, HierarchyConfig};
+use arch::machines::cte_arm;
+use cluster_eval::cachemodel::{predict_all, registry};
+use kernels::stream::StreamKernel;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    // In a subdirectory, like the F-series goldens: loose files under
+    // tests/golden/ are reserved for the paper-artifact registry.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/cache_model/predictions.csv")
+}
+
+fn updating() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn pct(key: &str) -> (f64, f64, String) {
+    let rows = predict_all(&cte_arm()).expect("CTE-Arm has a hierarchy config");
+    let (_, p) = rows
+        .into_iter()
+        .find(|(e, _)| e.key == key)
+        .unwrap_or_else(|| panic!("registry kernel {key} missing"));
+    (p.pct_peak_flops, p.pct_peak_bw, p.bound.clone())
+}
+
+/// The paper's measured anchors with pinned tolerances. Each entry is
+/// (kernel, which metric, measured value, tolerance).
+#[test]
+fn predictions_match_the_papers_measured_fractions() {
+    // STREAM Triad: 84.2 % of nominal peak bandwidth (862.6 / 1024).
+    let (_, bw, bound) = pct("stream_triad");
+    assert!(
+        (bw - 0.842).abs() < 0.02,
+        "triad predicted {:.4} of peak BW, paper measured 0.842",
+        bw
+    );
+    assert_eq!(bound, "dram", "triad must be DRAM-bound");
+
+    // CSR SpMV: 2.91 % of peak flops in the paper's HPCG runs.
+    let (fl, _, bound) = pct("spmv_csr");
+    assert!(
+        (fl - 0.0291).abs() < 0.006,
+        "spmv_csr predicted {:.4} of peak flops, paper measured 0.0291",
+        fl
+    );
+    assert_eq!(bound, "dram", "CSR SpMV must be DRAM-bound");
+
+    // Ocean stencil: ~59 % of peak bandwidth.
+    let (_, bw, _) = pct("stencil_ocean");
+    assert!(
+        (bw - 0.59).abs() < 0.05,
+        "ocean stencil predicted {:.4} of peak BW, paper measured ~0.59",
+        bw
+    );
+}
+
+#[test]
+fn dgemm_prediction_brackets_the_vendor_efficiency() {
+    // The trace models the pure packed micro-kernel, an idealised upper
+    // bound on vendor HPL's node-level 88 % (which also pays for panel
+    // factorisation and pivoting). The prediction must sit between the
+    // vendor figure and 100 % of peak, and be compute-bound.
+    let vendor = hpl::vendor_dgemm_efficiency(&cte_arm());
+    let (fl, _, bound) = pct("dgemm");
+    assert!(
+        fl >= vendor && fl <= 1.0 + 1e-9,
+        "dgemm predicted {:.4}; expected within [{vendor:.2}, 1.0]",
+        fl
+    );
+    assert_eq!(bound, "compute", "packed DGEMM must be compute-bound");
+}
+
+#[test]
+fn efficiency_is_simulated_not_hard_coded() {
+    // The four anchored kernels must get distinct, mechanistically
+    // derived fractions — a hard-coded table would need exactly these
+    // four constants, and any trace or hierarchy change would not move
+    // them. Distinctness plus the anchor checks above is the cheap
+    // structural guard.
+    let (triad_f, triad_b, _) = pct("stream_triad");
+    let (gemm_f, _, _) = pct("dgemm");
+    let (csr_f, _, _) = pct("spmv_csr");
+    let (_, ocean_b, _) = pct("stencil_ocean");
+    let fractions = [triad_f, gemm_f, csr_f, triad_b, ocean_b];
+    for (i, a) in fractions.iter().enumerate() {
+        for b in &fractions[i + 1..] {
+            assert!((a - b).abs() > 1e-6, "suspiciously equal fractions");
+        }
+    }
+}
+
+#[test]
+fn prediction_table_matches_golden_snapshot() {
+    let rows = predict_all(&cte_arm()).expect("CTE-Arm has a hierarchy config");
+    let mut got = String::from("kernel,pct_peak_flops,pct_peak_bw,bound,dram_mib,nominal_mib\n");
+    for (e, p) in &rows {
+        got.push_str(&format!(
+            "{},{:.4},{:.4},{},{:.3},{:.3}\n",
+            e.key,
+            p.pct_peak_flops,
+            p.pct_peak_bw,
+            p.bound,
+            p.sim.dram_bytes() as f64 / (1024.0 * 1024.0),
+            p.sim.nominal_bytes as f64 / (1024.0 * 1024.0),
+        ));
+    }
+    let path = golden_path();
+    if updating() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        fs::write(&path, &got).expect("write cache_model snapshot");
+        return;
+    }
+    let want = fs::read_to_string(&path).expect(
+        "golden snapshot missing — regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test cache_model_validation",
+    );
+    assert_eq!(
+        want, got,
+        "cache-model prediction table drifted from tests/golden/cache_model/predictions.csv; \
+         if intended, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// Differential oracle: on pure-streaming traces (no reuse, no
+/// indirection) the cache simulator must agree with the flat roofline
+/// byte count EXACTLY — every byte is touched once, prefetching and
+/// zfill change *when* lines move, not *how many*.
+#[test]
+fn simulator_agrees_with_flat_counts_on_pure_streams() {
+    let sim = CacheSim::new(HierarchyConfig::a64fx_core());
+    for k in [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ] {
+        let n: u64 = 1 << 18;
+        let trace = k.traffic_trace(n);
+        let flat = k.bytes_per_element() as f64 * n as f64;
+        let r = sim.run(&trace);
+        assert_eq!(
+            r.dram_bytes(),
+            flat as u64,
+            "{:?}: simulated DRAM traffic must equal the flat byte count on \
+             a reuse-free stream",
+            k
+        );
+        assert_eq!(r.nominal_bytes, flat as u64, "{k:?}: nominal count drifted");
+    }
+}
+
+/// ... and it must DISAGREE wherever reuse exists: that divergence is the
+/// whole point of the simulator. DGEMM's packed panels and the ocean
+/// stencil's neighbour rows are cache-resident, so simulated DRAM traffic
+/// drops well below the nominal (flat) count.
+#[test]
+fn simulator_diverges_from_flat_counts_only_under_reuse() {
+    for key in ["dgemm", "stencil_ocean"] {
+        let e = registry()
+            .into_iter()
+            .find(|e| e.key == key)
+            .expect("registry kernel");
+        let sim = CacheSim::new(HierarchyConfig::a64fx_core());
+        let r = sim.run(&e.trace);
+        assert!(
+            (r.dram_bytes() as f64) < 0.8 * r.nominal_bytes as f64,
+            "{key}: expected cache reuse to cut DRAM traffic below 80 % of \
+             nominal, got {} of {}",
+            r.dram_bytes(),
+            r.nominal_bytes
+        );
+    }
+}
