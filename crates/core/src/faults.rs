@@ -459,6 +459,229 @@ pub fn run_campaign(ctx: &Ctx, campaign: &Campaign, jobs: usize) -> CampaignRepo
     }
 }
 
+// ---------------------------------------------------------------------------
+// Machine-scale smoke campaign (full Fugaku, 158 976 nodes).
+//
+// The F-series campaigns above lean on the O(n²) Fig.-4 pairwise map —
+// fine at CTE-Arm's 192 nodes, unrunnable at Fugaku scale, where the map
+// alone would be 2.5 × 10¹⁰ probes and the dense routing table ~100 GB.
+// The scale campaign replaces both:
+//
+// * routes resolve through the network's symmetry-folded pair table
+//   (< 10 MB for the full machine);
+// * machine-wide traffic statistics come from the closed-form sweeps in
+//   `interconnect::sweep`;
+// * detection runs an O(n) probe battery — every node pings three
+//   partners at fixed coordinate offsets — and fingerprints faults by each
+//   node's **median** probe slowdown over its six (3 tx + 3 rx) probes.
+//   The median is what makes O(n) coverage safe: a healthy partner of a
+//   faulty node sees at most one bad probe out of six, so its median stays
+//   at 1.0, while a faulty node degrades at least half of its own probes.
+// ---------------------------------------------------------------------------
+
+/// Full-Fugaku TofuD shape: 24 × 23 × 24 units of 2 × 3 × 2 nodes.
+pub const FUGAKU_DIMS: [usize; 6] = [24, 23, 24, 2, 3, 2];
+
+/// The full-Fugaku torus: 158 976 nodes.
+pub fn fugaku_topo() -> TofuD {
+    TofuD::with_dims(FUGAKU_DIMS, [true, true, true, false, true, false])
+}
+
+/// Probes each node initiates in the scale battery.
+const SCALE_PROBES: usize = 3;
+
+/// Fixed partner offsets: near neighbour, antipode, and an off-axis point
+/// in between. Identical for baseline and faulty batteries, so per-probe
+/// slowdown ratios are well defined.
+fn probe_offsets(n: usize) -> [usize; SCALE_PROBES] {
+    assert!(n >= 8, "scale battery needs at least 8 nodes, got {n}");
+    [1, n / 2, n / 2 + n / 4]
+}
+
+/// Per-probe bandwidths, `bw[s * SCALE_PROBES + j]` for the probe node `s`
+/// sends to `(s + offsets[j]) % n`. A probe through a failed endpoint
+/// reports zero bandwidth (the transfer never completes).
+fn probe_battery(net: &Network<TofuD>) -> Vec<f64> {
+    let n = net.topology().nodes();
+    let offs = probe_offsets(n);
+    let mut bw = vec![0.0; n * SCALE_PROBES];
+    for s in 0..n {
+        for (j, &o) in offs.iter().enumerate() {
+            let t = net
+                .message_time(NodeId(s), NodeId((s + o) % n), Bytes::new(PROBE_BYTES))
+                .value();
+            if t.is_finite() {
+                bw[s * SCALE_PROBES + j] = PROBE_BYTES / t;
+            }
+        }
+    }
+    bw
+}
+
+/// Each node's median slowdown over its six probes (3 sent + 3 received),
+/// then the top-`k` outliers (ties broken by node id). A node with zero
+/// faulty bandwidth on a majority of probes medians to `+∞`.
+fn scale_detect(base: &[f64], faulty: &[f64], n: usize, k: usize) -> (Vec<NodeId>, Vec<f64>) {
+    let offs = probe_offsets(n);
+    let slow: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut ratios = [0.0f64; 2 * SCALE_PROBES];
+            for j in 0..SCALE_PROBES {
+                let tx = i * SCALE_PROBES + j;
+                let src = ((i + n - offs[j]) % n) * SCALE_PROBES + j;
+                ratios[j] = base[tx] / faulty[tx];
+                ratios[SCALE_PROBES + j] = base[src] / faulty[src];
+            }
+            ratios.sort_unstable_by(f64::total_cmp);
+            // Upper median: robust to one-sided (rx-only) faults, which
+            // leave the three tx ratios at 1.0.
+            ratios[SCALE_PROBES]
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| slow[b].total_cmp(&slow[a]).then(a.cmp(&b)));
+    (order.into_iter().take(k).map(NodeId).collect(), slow)
+}
+
+/// One scale trial's outcome.
+#[derive(Debug, Clone)]
+pub struct ScaleTrial {
+    /// The injected plan.
+    pub plan: FaultPlan,
+    /// Network-visible injected nodes (ground truth), id order.
+    pub injected: Vec<NodeId>,
+    /// Top-|injected| nodes of the median-slowdown ranking, rank order.
+    pub detected: Vec<NodeId>,
+    /// Whether detected == injected as sets.
+    pub fingerprint_hit: bool,
+    /// Worst finite median slowdown across all nodes.
+    pub max_finite_slowdown: f64,
+    /// Nodes whose median slowdown is infinite (hard failures).
+    pub infinite_slowdowns: usize,
+}
+
+/// A finished scale campaign: machine-wide closed-form statistics plus the
+/// per-trial fingerprint table.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Nodes in the machine.
+    pub nodes: usize,
+    /// Resident bytes of the network's pair table (folded on TofuD).
+    pub table_bytes: usize,
+    /// Wall time to build the pair table, milliseconds.
+    pub table_build_ms: f64,
+    /// Wall time of the closed-form uniform-traffic sweep, milliseconds.
+    pub sweep_ms: f64,
+    /// `(max, mean)` directed-link load under uniform all-pairs traffic.
+    pub link_load: (f64, f64),
+    /// Mean pairwise hop distance over the whole machine.
+    pub mean_hops: f64,
+    /// Per-trial outcomes.
+    pub trials: Vec<ScaleTrial>,
+    /// The report table (`fseries_scale_<n>`).
+    pub table: Table,
+}
+
+/// Run the machine-scale fault campaign on `topo`: closed-form sweep,
+/// folded-table probe batteries, and `generated_trials` seed-derived fault
+/// plans. Everything is deterministic in `(topo, generated_trials, seed)`.
+pub fn run_scale_campaign(topo: TofuD, generated_trials: usize, seed: u64) -> ScaleReport {
+    use std::time::Instant;
+    let n = topo.nodes();
+
+    let t0 = Instant::now();
+    let link_load = interconnect::sweep::uniform_link_load(&topo);
+    let mean_hops = interconnect::sweep::uniform_mean_hops(&topo);
+    let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let base_net = Network::new(topo.clone(), LinkModel::tofud());
+    let t1 = Instant::now();
+    let table = base_net.routing_table();
+    let table_build_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let table_bytes = table.memory_bytes();
+    let base_bw = probe_battery(&base_net);
+
+    let spec = FaultSpec {
+        degraded: 2,
+        link_latency: 1,
+        retransmit: 1,
+        slowdown: 0,
+        failures: 2,
+    };
+    let trials: Vec<ScaleTrial> = (0..generated_trials)
+        .map(|i| {
+            let plan = FaultPlan::generate(format!("scale-{i}"), n, &spec, trial_seed(seed, i));
+            let net = plan.apply(Network::new(topo.clone(), LinkModel::tofud()));
+            net.routing_table();
+            let bw = probe_battery(&net);
+            let injected = plan.injected_network_nodes();
+            let (detected, slow) = scale_detect(&base_bw, &bw, n, injected.len());
+            let mut detected_sorted: Vec<usize> = detected.iter().map(|d| d.index()).collect();
+            detected_sorted.sort_unstable();
+            let injected_sorted: Vec<usize> = injected.iter().map(|d| d.index()).collect();
+            ScaleTrial {
+                fingerprint_hit: detected_sorted == injected_sorted,
+                max_finite_slowdown: slow
+                    .iter()
+                    .copied()
+                    .filter(|v| v.is_finite())
+                    .fold(1.0_f64, f64::max),
+                infinite_slowdowns: slow.iter().filter(|v| v.is_infinite()).count(),
+                plan,
+                injected,
+                detected,
+            }
+        })
+        .collect();
+
+    let ids = |nodes: &[NodeId]| {
+        nodes
+            .iter()
+            .map(|d| d.index().to_string())
+            .collect::<Vec<_>>()
+            .join("+")
+    };
+    let mut table = Table::new(
+        format!("fseries_scale_{n}"),
+        format!("Machine-scale fault campaign: {n} nodes, folded pair table, O(n) probe battery"),
+        vec![
+            "trial",
+            "plan",
+            "injected",
+            "detected",
+            "fingerprint",
+            "max finite slowdown",
+            "failed medians",
+        ],
+    );
+    for (i, t) in trials.iter().enumerate() {
+        table.push_row(vec![
+            i.to_string(),
+            t.plan.describe(),
+            ids(&t.injected),
+            ids(&t.detected),
+            if t.fingerprint_hit { "HIT" } else { "MISS" }.to_string(),
+            format!("{:.4}", t.max_finite_slowdown),
+            t.infinite_slowdowns.to_string(),
+        ]);
+    }
+    ScaleReport {
+        nodes: n,
+        table_bytes,
+        table_build_ms,
+        sweep_ms,
+        link_load,
+        mean_hops,
+        trials,
+        table,
+    }
+}
+
+/// The full-Fugaku smoke campaign: two generated trials at 158 976 nodes.
+pub fn run_fugaku_smoke() -> ScaleReport {
+    run_scale_campaign(fugaku_topo(), 2, 11)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +732,53 @@ mod tests {
         assert_eq!(t1.plan.failed_nodes().len(), 1);
         assert!(t1.sched.is_some());
         assert!(t1.net_max_slowdown.is_infinite(), "failed node never talks");
+    }
+
+    #[test]
+    fn scale_campaign_fingerprints_at_thousands_of_nodes() {
+        // Mid-scale stand-in for the Fugaku run (debug builds exercise the
+        // machinery here; the release CLI runs the full machine).
+        let topo = TofuD::with_dims([6, 6, 6, 2, 3, 2], [true, true, true, false, true, false]);
+        let report = run_scale_campaign(topo, 2, 11);
+        assert_eq!(report.nodes, 2592);
+        for (i, t) in report.trials.iter().enumerate() {
+            assert!(t.fingerprint_hit, "trial {i} must fingerprint its nodes");
+            assert_eq!(t.injected.len(), 6);
+            assert_eq!(t.infinite_slowdowns, 2, "two hard failures median to ∞");
+            assert!(t.max_finite_slowdown > 1.0);
+        }
+        // The battery rides the folded table, never the dense one: memory
+        // stays linear in offset classes, not quadratic in nodes.
+        assert!(
+            report.table_bytes < report.nodes * report.nodes,
+            "pair table ({} B) must be far below dense O(n²)",
+            report.table_bytes
+        );
+        let (max, mean) = report.link_load;
+        assert!(max > mean && mean > 0.0);
+        assert!(report.mean_hops > 1.0);
+    }
+
+    #[test]
+    fn scale_campaign_is_deterministic() {
+        let topo = || TofuD::with_dims([4, 4, 4, 2, 3, 2], [true, true, true, false, true, false]);
+        let a = run_scale_campaign(topo(), 1, 3).table.to_csv();
+        let b = run_scale_campaign(topo(), 1, 3).table.to_csv();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probe_battery_is_clean_on_a_healthy_machine() {
+        let topo = TofuD::cte_arm();
+        let n = topo.nodes();
+        let net = Network::new(topo, LinkModel::tofud());
+        let bw = probe_battery(&net);
+        assert!(bw.iter().all(|&b| b > 0.0));
+        let (detected, slow) = scale_detect(&bw, &bw, n, 3);
+        assert!(slow.iter().all(|&s| s == 1.0));
+        // Ties broken by id: the "outliers" of a healthy machine are just
+        // the first ids.
+        assert_eq!(detected, vec![NodeId(0), NodeId(1), NodeId(2)]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use arch::cost::{
     spmv_csr_bytes, spmv_csr_moved_bytes, spmv_stencil_bytes, spmv_stencil_moved_bytes,
 };
+use interconnect::folded::FoldedTable;
 use interconnect::link::LinkModel;
 use interconnect::network::Network;
 use interconnect::routing::{all_pairs_loads, RouteSteps};
@@ -95,6 +96,22 @@ pub struct NetworkBench {
     pub sweep_ms_1t: f64,
     /// Same sweep with the full configured pool, ms.
     pub sweep_ms_nt: f64,
+    /// Topology of the symmetry-folded rows (full Fugaku).
+    pub folded_topology: String,
+    /// Path-cost resolutions per second through the folded table's
+    /// all-pairs decode loop (hops + sharing class per pair).
+    pub folded_routes_per_sec: f64,
+    /// Wall time to build the full-Fugaku folded table, milliseconds.
+    pub folded_build_ms: f64,
+    /// Resident bytes of the full-Fugaku folded table.
+    pub folded_table_bytes: usize,
+    /// Topology of the 10k-node closed-form sweep row.
+    pub sweep_10k_topology: String,
+    /// Closed-form all-pairs uniform-traffic sweep (link loads + mean
+    /// hops) at 10k+ nodes, milliseconds.
+    pub sweep_10k_closed_ms: f64,
+    /// The same closed-form sweep at full-Fugaku scale, milliseconds.
+    pub fugaku_sweep_closed_ms: f64,
 }
 
 impl NetworkBench {
@@ -362,6 +379,33 @@ fn bench_table_build(topo: &TofuD) -> f64 {
     }) * 1e6
 }
 
+/// Folded-table resolutions per second: stream the all-pairs decode loop
+/// (two array reads + unpack per ordered pair, self-pairs included) over a
+/// table that fits in cache, repeated to dominate timer noise.
+fn bench_folded_resolve_rate(topo: &TofuD) -> f64 {
+    let t = FoldedTable::build(topo);
+    let n = t.nodes();
+    let reps = 200;
+    let secs = time_best(|| {
+        let mut sink = 0u64;
+        for _ in 0..reps {
+            sink = sink.wrapping_add(t.checksum_all_pairs());
+        }
+        std::hint::black_box(sink);
+    });
+    (reps * n * n) as f64 / secs
+}
+
+/// Closed-form uniform-traffic sweep wall time (ms): per-link loads with
+/// max/mean plus the machine-wide mean hop distance.
+fn bench_closed_sweep(topo: &TofuD) -> f64 {
+    time_best(|| {
+        let load = interconnect::sweep::uniform_link_load(topo);
+        let hops = interconnect::sweep::uniform_mean_hops(topo);
+        std::hint::black_box((load, hops));
+    }) * 1e3
+}
+
 /// All-pairs link-load sweep wall time (ms) under a pool of `threads`.
 fn bench_sweep(topo: &TofuD, threads: usize) -> f64 {
     with_pool(threads, || {
@@ -384,12 +428,18 @@ fn bench_sweep(topo: &TofuD, threads: usize) -> f64 {
 pub fn run_network_bench(pool_threads: usize) -> NetworkBench {
     let small = TofuD::cte_arm();
     let big = TofuD::with_dims([8, 4, 4, 2, 3, 2], [true, true, true, false, true, false]);
+    // 10 368 nodes: the smallest row past the ISSUE's 10k sweep target.
+    let tenk = TofuD::with_dims([12, 12, 6, 2, 3, 2], [true, true, true, false, true, false]);
+    let fugaku = crate::faults::fugaku_topo();
     // Two networks over the same topology: one left table-less so
     // `path_cost` runs the pre-change direct computation, one with the
     // memoized table the production path uses.
     let direct = Network::new(TofuD::cte_arm(), LinkModel::tofud());
     let cached = Network::new(TofuD::cte_arm(), LinkModel::tofud());
     cached.routing_table();
+    let folded_build_ms = time_best(|| {
+        std::hint::black_box(FoldedTable::build(&fugaku));
+    }) * 1e3;
     NetworkBench {
         route_topology: topo_label(&small),
         routes_per_sec: bench_resolve_rate(&cached),
@@ -399,6 +449,13 @@ pub fn run_network_bench(pool_threads: usize) -> NetworkBench {
         sweep_topology: topo_label(&big),
         sweep_ms_1t: bench_sweep(&big, 1),
         sweep_ms_nt: bench_sweep(&big, pool_threads),
+        folded_topology: topo_label(&fugaku),
+        folded_routes_per_sec: bench_folded_resolve_rate(&small),
+        folded_build_ms,
+        folded_table_bytes: FoldedTable::build(&fugaku).memory_bytes(),
+        sweep_10k_topology: topo_label(&tenk),
+        sweep_10k_closed_ms: bench_closed_sweep(&tenk),
+        fugaku_sweep_closed_ms: bench_closed_sweep(&fugaku),
     }
 }
 
@@ -527,12 +584,22 @@ pub fn run_host_bench() -> HostBench {
     ];
     let kernels = runs
         .into_iter()
-        .map(|(name, metric, size, f)| KernelBench {
-            name,
-            metric,
-            size,
-            value_1t: f(1),
-            value_nt: f(pool_threads),
+        .map(|(name, metric, size, f)| {
+            let value_1t = f(1);
+            // On a 1-wide pool the "N-thread" leg is the same measurement;
+            // skip the duplicate run (the JSON suppresses the column too).
+            let value_nt = if pool_threads > 1 {
+                f(pool_threads)
+            } else {
+                value_1t
+            };
+            KernelBench {
+                name,
+                metric,
+                size,
+                value_1t,
+                value_nt,
+            }
         })
         .collect();
     HostBench {
@@ -570,11 +637,19 @@ impl HostBench {
             out.push_str(&format!("      \"metric\": \"{}\",\n", k.metric));
             out.push_str(&format!("      \"size\": \"{}\",\n", k.size));
             out.push_str(&format!("      \"value_1_thread\": {:.3},\n", k.value_1t));
-            out.push_str(&format!(
-                "      \"value_{}_threads\": {:.3},\n",
-                self.pool_threads, k.value_nt
-            ));
-            out.push_str(&format!("      \"speedup\": {:.3}\n", k.speedup()));
+            // A 1-wide pool has no distinct N-thread leg: emitting
+            // `value_1_threads` next to `value_1_thread` and a "speedup"
+            // of noise/noise made the committed snapshot lie. Suppress the
+            // column and null the ratio instead.
+            if self.pool_threads > 1 {
+                out.push_str(&format!(
+                    "      \"value_{}_threads\": {:.3},\n",
+                    self.pool_threads, k.value_nt
+                ));
+                out.push_str(&format!("      \"speedup\": {:.3}\n", k.speedup()));
+            } else {
+                out.push_str("      \"speedup\": null\n");
+            }
             out.push_str(if i + 1 < self.kernels.len() {
                 "    },\n"
             } else {
@@ -629,14 +704,18 @@ impl HostBench {
             "    \"vcycle_wall_ms_1_thread\": {:.2},\n",
             hp.vcycle_ms_1t
         ));
-        out.push_str(&format!(
-            "    \"vcycle_wall_ms_{}_threads\": {:.2},\n",
-            self.pool_threads, hp.vcycle_ms_nt
-        ));
-        out.push_str(&format!(
-            "    \"vcycle_speedup\": {:.3}\n",
-            hp.vcycle_speedup()
-        ));
+        if self.pool_threads > 1 {
+            out.push_str(&format!(
+                "    \"vcycle_wall_ms_{}_threads\": {:.2},\n",
+                self.pool_threads, hp.vcycle_ms_nt
+            ));
+            out.push_str(&format!(
+                "    \"vcycle_speedup\": {:.3}\n",
+                hp.vcycle_speedup()
+            ));
+        } else {
+            out.push_str("    \"vcycle_speedup\": null\n");
+        }
         out.push_str("  },\n");
         let nw = &self.network;
         out.push_str("  \"network\": {\n");
@@ -672,13 +751,45 @@ impl HostBench {
             "    \"sweep_wall_ms_1_thread\": {:.1},\n",
             nw.sweep_ms_1t
         ));
+        if self.pool_threads > 1 {
+            out.push_str(&format!(
+                "    \"sweep_wall_ms_{}_threads\": {:.1},\n",
+                self.pool_threads, nw.sweep_ms_nt
+            ));
+            out.push_str(&format!(
+                "    \"sweep_speedup\": {:.3},\n",
+                nw.sweep_speedup()
+            ));
+        } else {
+            out.push_str("    \"sweep_speedup\": null,\n");
+        }
         out.push_str(&format!(
-            "    \"sweep_wall_ms_{}_threads\": {:.1},\n",
-            self.pool_threads, nw.sweep_ms_nt
+            "    \"folded_topology\": \"{}\",\n",
+            nw.folded_topology
         ));
         out.push_str(&format!(
-            "    \"sweep_speedup\": {:.3}\n",
-            nw.sweep_speedup()
+            "    \"folded_routes_per_sec\": {:.0},\n",
+            nw.folded_routes_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"folded_build_ms\": {:.1},\n",
+            nw.folded_build_ms
+        ));
+        out.push_str(&format!(
+            "    \"folded_table_bytes\": {},\n",
+            nw.folded_table_bytes
+        ));
+        out.push_str(&format!(
+            "    \"sweep_10k_topology\": \"{}\",\n",
+            nw.sweep_10k_topology
+        ));
+        out.push_str(&format!(
+            "    \"sweep_10k_closed_ms\": {:.2},\n",
+            nw.sweep_10k_closed_ms
+        ));
+        out.push_str(&format!(
+            "    \"fugaku_sweep_closed_ms\": {:.2}\n",
+            nw.fugaku_sweep_closed_ms
         ));
         out.push_str("  }\n}\n");
         out
@@ -713,6 +824,13 @@ mod tests {
             sweep_topology: "TofuD [8, 4, 4, 2, 3, 2] (1536 nodes)".into(),
             sweep_ms_1t: 200.0,
             sweep_ms_nt: 50.0,
+            folded_topology: "TofuD [24, 23, 24, 2, 3, 2] (158976 nodes)".into(),
+            folded_routes_per_sec: 1.5e9,
+            folded_build_ms: 40.0,
+            folded_table_bytes: 9_582_978,
+            sweep_10k_topology: "TofuD [12, 12, 6, 2, 3, 2] (10368 nodes)".into(),
+            sweep_10k_closed_ms: 1.25,
+            fugaku_sweep_closed_ms: 18.5,
         }
     }
 
@@ -759,6 +877,11 @@ mod tests {
         assert!(j.contains("\"route_enum_per_sec\": 20000000"));
         assert!(j.contains("\"sweep_wall_ms_4_threads\": 50.0"));
         assert!(j.contains("\"sweep_speedup\": 4.000"));
+        assert!(j.contains("\"folded_routes_per_sec\": 1500000000"));
+        assert!(j.contains("\"folded_build_ms\": 40.0"));
+        assert!(j.contains("\"folded_table_bytes\": 9582978"));
+        assert!(j.contains("\"sweep_10k_closed_ms\": 1.25"));
+        assert!(j.contains("\"fugaku_sweep_closed_ms\": 18.50"));
         assert!(j.contains("\"hpcg\": {"));
         assert!(j.contains("\"grid\": \"32x32x32\""));
         assert!(j.contains("\"spmv_csr_gbs_model\": 18.000"));
@@ -769,6 +892,39 @@ mod tests {
         assert!(j.contains("\"symgs_speedup\": 2.500"));
         assert!(j.contains("\"vcycle_wall_ms_4_threads\": 10.00"));
         assert!(j.contains("\"vcycle_speedup\": 4.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn single_thread_pool_suppresses_speedup_columns() {
+        // Regression for the committed 1-core snapshot: the JSON printed
+        // `value_1_thread` AND `value_1_threads` per kernel plus a
+        // "speedup" that was pure measurement noise. A 1-wide pool must
+        // emit one value column and null ratios.
+        let hb = HostBench {
+            detected_cores: 1,
+            pool_threads: 1,
+            rayon_threads_env: None,
+            kernels: vec![KernelBench {
+                name: "stream_triad",
+                metric: "GB/s",
+                size: "n=10".into(),
+                value_1t: 10.0,
+                value_nt: 10.0,
+            }],
+            network: sample_network(),
+            hpcg: sample_hpcg(),
+        };
+        let j = hb.to_json();
+        assert!(j.contains("\"value_1_thread\": 10.000"));
+        assert!(!j.contains("\"value_1_threads\""));
+        assert!(j.contains("\"speedup\": null"));
+        assert!(!j.contains("\"vcycle_wall_ms_1_threads\""));
+        assert!(j.contains("\"vcycle_speedup\": null"));
+        assert!(!j.contains("\"sweep_wall_ms_1_threads\""));
+        assert!(j.contains("\"sweep_speedup\": null"));
+        // The scale rows are thread-count-independent and stay.
+        assert!(j.contains("\"folded_table_bytes\": 9582978"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

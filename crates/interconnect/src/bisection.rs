@@ -60,17 +60,38 @@ pub struct CutTraffic {
     pub mean_load: f64,
 }
 
-/// Route-level validation of the closed-form bisection: sweep every
-/// ordered pair's dimension-ordered route (in parallel, deterministic
-/// chunk-ordered accumulation) and count traversals of the links that
-/// cross the worst cut. With an even extent, minimal routes cross the cut
-/// exactly once per half-to-half pair, so `crossings` equals the number
-/// of ordered pairs straddling the cut.
+/// Traffic across the worst bisecting cut under uniform all-pairs
+/// routing, in closed form: per-dimension port-crossing counts expanded
+/// by torus translation symmetry ([`crate::sweep::uniform_cut_crossings`])
+/// instead of enumerating `O(n²)` routes, so the result is available at
+/// full-Fugaku scale in microseconds. With an even extent, minimal routes
+/// cross the cut exactly once per half-to-half pair, so `crossings`
+/// equals the number of ordered pairs straddling the cut. Integer-
+/// identical to [`tofu_cut_traffic_enumerated`], which remains as the
+/// route-level differential oracle.
 ///
 /// # Panics
 /// Panics when the worst-cut dimension has an odd extent (the halves
 /// would be unequal and "bisection" ill-defined).
 pub fn tofu_cut_traffic(topo: &TofuD) -> CutTraffic {
+    let (dim, links) = tofu_worst_cut(topo);
+    let crossings = crate::sweep::uniform_cut_crossings(topo, dim);
+    CutTraffic {
+        dim,
+        links,
+        crossings,
+        mean_load: crossings as f64 / links as f64,
+    }
+}
+
+/// Route-level oracle for [`tofu_cut_traffic`]: sweep every ordered
+/// pair's dimension-ordered route (in parallel, deterministic
+/// chunk-ordered accumulation) and count traversals of the links that
+/// cross the worst cut.
+///
+/// # Panics
+/// Panics when the worst-cut dimension has an odd extent.
+pub fn tofu_cut_traffic_enumerated(topo: &TofuD) -> CutTraffic {
     let (dim, links) = tofu_worst_cut(topo);
     let extent = topo.dims[dim];
     assert!(
@@ -192,6 +213,22 @@ mod tests {
         assert_eq!(cut.links, 96);
         assert_eq!(cut.crossings, 2 * 96 * 96, "once per straddling pair");
         assert!((cut.mean_load - 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_cut_matches_route_enumeration() {
+        for t in [
+            TofuD::cte_arm(),
+            TofuD::with_dims([3, 2, 2, 2, 3, 2], [true, true, true, false, true, false]),
+            TofuD::with_dims([4, 2, 1, 1, 1, 2], [true, true, false, false, false, false]),
+        ] {
+            assert_eq!(
+                tofu_cut_traffic(&t),
+                tofu_cut_traffic_enumerated(&t),
+                "cut traffic diverges on dims {:?}",
+                t.dims
+            );
+        }
     }
 
     #[test]

@@ -23,26 +23,34 @@
 //! run on a fast path: [`table::RoutingTable`] memoizes hop counts and
 //! sharing factors per topology, [`routing::RouteSteps`] enumerates routes
 //! without allocating, and the sweeps fan out over the rayon pool with
-//! chunk-ordered (bit-deterministic) reductions.
+//! chunk-ordered (bit-deterministic) reductions. At Fugaku scale the dense
+//! table gives way to [`folded::FoldedTable`] — one entry per coordinate
+//! *offset class* by torus translation symmetry (under 10 MB at 158,976
+//! nodes, ~100 GB dense) — and [`sweep`] prices uniform-traffic link
+//! loads, bisection crossings and mean pairwise hops in exact per-
+//! dimension closed forms, no all-pairs enumeration at all.
 
 #![warn(missing_docs)]
 
 pub mod bisection;
 pub mod fattree;
 pub mod faults;
+pub mod folded;
 pub mod hostname;
 pub mod link;
 pub mod network;
 pub mod placement;
 pub mod routing;
+pub mod sweep;
 pub mod table;
 pub mod tofu;
 pub mod topology;
 
 pub use fattree::FatTree;
 pub use faults::{Fault, FaultPlan, FaultSpec};
+pub use folded::FoldedTable;
 pub use link::LinkModel;
 pub use network::{Degradation, Network, PathCost};
-pub use table::RoutingTable;
+pub use table::{PairTable, RoutingTable};
 pub use tofu::TofuD;
 pub use topology::{NodeId, Topology};

@@ -1,7 +1,7 @@
 //! A network: topology + link model + per-node health + measurement noise.
 
 use crate::link::LinkModel;
-use crate::table::RoutingTable;
+use crate::table::PairTable;
 use crate::topology::{check_node, NodeId, Topology};
 use simkit::rng::Pcg32;
 use simkit::units::{Bandwidth, Bytes, Time};
@@ -99,8 +99,9 @@ pub struct Network<T: Topology> {
     /// Lognormal sigma of dynamic-contention noise for messages ≥ 1 MiB.
     /// The paper observes high run-to-run variability only above 2^20 B.
     large_msg_noise: f64,
-    /// Memoized all-pairs hop/sharing table, built on first request.
-    table: OnceLock<RoutingTable>,
+    /// Memoized hop/sharing pair table, built on first request. The
+    /// variant is topology-selected: folded on tori, dense elsewhere.
+    table: OnceLock<PairTable>,
 }
 
 impl<T: Topology> Network<T> {
@@ -222,12 +223,20 @@ impl<T: Topology> Network<T> {
     /// The memoized hop/sharing table, built on first request. Sweeps that
     /// price every pair (the Fig. 4 map, link-load analysis) use it to
     /// avoid re-deriving the route per message; one-off messages never pay
-    /// the `O(n²)` build.
-    pub fn routing_table(&self) -> &RoutingTable
+    /// the build. The topology picks the representation
+    /// ([`Topology::pair_table`]): TofuD folds by translation symmetry, so
+    /// even a full-Fugaku network stays under 10 MB here.
+    pub fn routing_table(&self) -> &PairTable
     where
         T: Sync,
     {
-        self.table.get_or_init(|| RoutingTable::build(&self.topo))
+        self.table.get_or_init(|| self.topo.pair_table())
+    }
+
+    /// The memoized table if some caller has already built it, without
+    /// triggering the build.
+    pub fn table_if_built(&self) -> Option<&PairTable> {
+        self.table.get()
     }
 
     /// Resolve the size-independent cost parameters of one path. Uses the

@@ -62,6 +62,12 @@ pub fn mean_pairwise_hops<T: Topology + Sync>(topo: &T, nodes: &[NodeId]) -> f64
     if nodes.len() < 2 {
         return 0.0;
     }
+    // Each element routes against every later node, so elements are far
+    // heavier than the scalar folds the default reduction grid assumes; an
+    // explicit grain (a pure function of the length, keeping determinism)
+    // lets even a few-hundred-node allocation use the pool. Integer sums
+    // are order-independent, so the result is unchanged.
+    let grain = nodes.len().div_ceil(64).max(16);
     let (total, pairs) = (0..nodes.len())
         .into_par_iter()
         .fold(
@@ -75,6 +81,7 @@ pub fn mean_pairwise_hops<T: Topology + Sync>(topo: &T, nodes: &[NodeId]) -> f64
                 (total, pairs)
             },
         )
+        .with_grain(grain)
         .reduce(|| (0, 0), |x, y| (x.0 + y.0, x.1 + y.1));
     total as f64 / pairs as f64
 }

@@ -416,6 +416,14 @@ impl LinkLoad {
         self.counts[Self::slot(from, dim, dir)] += 1;
     }
 
+    /// Count `n` traversals of the directed link at once — the bulk entry
+    /// point for closed-form fills ([`crate::sweep`]) that expand
+    /// per-offset counts by symmetry instead of walking routes.
+    #[inline]
+    pub fn add(&mut self, from: NodeId, dim: usize, dir: i8, n: u64) {
+        self.counts[Self::slot(from, dim, dir)] += n;
+    }
+
     /// Traversals recorded for one directed link.
     #[inline]
     pub fn get(&self, from: NodeId, dim: usize, dir: i8) -> u64 {
@@ -476,8 +484,18 @@ impl LinkLoad {
 /// ordered pair), swept in parallel over source nodes. Per-chunk
 /// accumulators are combined in chunk order, so the result is bit-identical
 /// to a sequential sweep at every thread count.
+///
+/// Each fold element is one *source* — `O(n · diameter)` route steps, not
+/// a cheap scalar — so the default reduction grid (sequential below 4096
+/// elements) would leave the pool idle at every realistic node count. An
+/// explicit grain keeps ≤ 64 chunks of ≥ 16 sources; it is a pure
+/// function of `n`, so determinism is unaffected, and the counts are
+/// integers, so re-chunking cannot change the result. For the closed-form
+/// route that skips enumeration entirely see
+/// [`crate::sweep::uniform_all_pairs_loads`].
 pub fn all_pairs_loads(topo: &TofuD) -> LinkLoad {
     let n = topo.nodes();
+    let grain = n.div_ceil(64).max(16);
     (0..n)
         .into_par_iter()
         .fold(
@@ -498,6 +516,7 @@ pub fn all_pairs_loads(topo: &TofuD) -> LinkLoad {
                 acc
             },
         )
+        .with_grain(grain)
         .reduce(
             || LinkLoad::new(n),
             |mut a, b| {

@@ -19,8 +19,94 @@
 //! A `RoutingTable` implements [`Topology`] itself, so any sweep that is
 //! generic over topologies can run against the cached table unchanged.
 
+use crate::folded::FoldedTable;
 use crate::topology::{NodeId, Topology};
 use rayon::prelude::*;
+
+/// The memoized pair table a [`crate::network::Network`] consults on its
+/// fast path, selected per topology: tori fold by translation symmetry
+/// ([`FoldedTable`], `O(#offset-classes)` memory), everything else keeps
+/// the dense all-pairs [`RoutingTable`]. Both variants answer `hops` and
+/// `sharing` bit-for-bit identically to the topology's own methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PairTable {
+    /// Dense 4-bytes-per-ordered-pair memo (fat trees, small machines).
+    Dense(RoutingTable),
+    /// Symmetry-folded per-offset-class memo (TofuD at any scale).
+    Folded(FoldedTable),
+}
+
+impl PairTable {
+    /// Hop count of the ordered pair.
+    #[inline]
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        match self {
+            PairTable::Dense(t) => t.hops(a, b),
+            PairTable::Folded(t) => t.hops(a, b),
+        }
+    }
+
+    /// Sharing factor of the ordered pair.
+    #[inline]
+    pub fn sharing(&self, a: NodeId, b: NodeId) -> f64 {
+        match self {
+            PairTable::Dense(t) => t.sharing(a, b),
+            PairTable::Folded(t) => t.sharing(a, b),
+        }
+    }
+
+    /// Number of nodes the table covers.
+    pub fn nodes(&self) -> usize {
+        match self {
+            PairTable::Dense(t) => t.nodes(),
+            PairTable::Folded(t) => t.nodes(),
+        }
+    }
+
+    /// The distinct sharing factors of the table.
+    pub fn sharing_classes(&self) -> &[f64] {
+        match self {
+            PairTable::Dense(t) => t.sharing_classes(),
+            PairTable::Folded(t) => t.sharing_classes(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            PairTable::Dense(t) => t.memory_bytes(),
+            PairTable::Folded(t) => t.memory_bytes(),
+        }
+    }
+}
+
+impl Topology for PairTable {
+    fn nodes(&self) -> usize {
+        PairTable::nodes(self)
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        PairTable::hops(self, a, b)
+    }
+
+    fn sharing(&self, a: NodeId, b: NodeId) -> f64 {
+        PairTable::sharing(self, a, b)
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            PairTable::Dense(t) => Topology::name(t),
+            PairTable::Folded(t) => Topology::name(t),
+        }
+    }
+
+    fn diameter(&self) -> usize {
+        match self {
+            PairTable::Dense(t) => Topology::diameter(t),
+            PairTable::Folded(t) => Topology::diameter(t),
+        }
+    }
+}
 
 /// Flat-array memo of `hops` and `sharing` for every ordered node pair.
 #[derive(Debug, Clone, PartialEq)]

@@ -129,53 +129,66 @@ impl LjSystem {
         // Parallel over particles: each computes its own force from the 27
         // surrounding cells (forces are recomputed pairwise twice — simple
         // and race-free, like Gromacs' "no Newton's third law over MPI"
-        // mode).
-        let results: Vec<([f64; 3], f64, u64)> = (0..self.len())
-            .into_par_iter()
-            .map(|i| {
-                let w = box_len / ncell as f64;
-                let p = pos[i];
-                let cx = ((p[0] / w) as usize).min(ncell - 1) as i64;
-                let cy = ((p[1] / w) as usize).min(ncell - 1) as i64;
-                let cz = ((p[2] / w) as usize).min(ncell - 1) as i64;
-                let mut f = [0.0f64; 3];
-                let mut pe = 0.0;
-                let mut flops = 0u64;
-                let nc = ncell as i64;
-                for dz in -1..=1 {
-                    for dy in -1..=1 {
-                        for dx in -1..=1 {
-                            let cc = ((cz + dz).rem_euclid(nc) * nc + (cy + dy).rem_euclid(nc))
-                                * nc
-                                + (cx + dx).rem_euclid(nc);
-                            for &j in &cells[cc as usize] {
-                                if j == i {
-                                    continue;
-                                }
-                                let d = min_image(p, pos[j]);
-                                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                                flops += 9;
-                                if r2 >= rc2 || r2 == 0.0 {
-                                    continue;
-                                }
-                                let inv2 = 1.0 / r2;
-                                let inv6 = inv2 * inv2 * inv2;
-                                let inv12 = inv6 * inv6;
-                                // F/r = 24(2r⁻¹² − r⁻⁶)/r².
-                                let fr = 24.0 * (2.0 * inv12 - inv6) * inv2;
-                                for k in 0..3 {
-                                    f[k] -= fr * d[k];
-                                }
-                                // Half the pair energy (pair visited twice).
-                                pe += 0.5 * 4.0 * (inv12 - inv6);
-                                flops += 20;
+        // mode). One particle costs ~27 cells × cell occupancy of pair
+        // math — far heavier than the scalar elements the pool's default
+        // reduction grid is sized for — so benchmark-scale systems
+        // (1728+ particles) opt into a finer order-preserving grid, while
+        // systems below `PAR_MIN_PARTICLES` skip the pool entirely. Both
+        // paths produce each particle's tuple independently and in order,
+        // so forces and energies are bit-identical regardless of path or
+        // thread count.
+        const PAR_MIN_PARTICLES: usize = 256;
+        const PAR_GRAIN: usize = 64;
+        let per_particle = |i: usize| {
+            let w = box_len / ncell as f64;
+            let p = pos[i];
+            let cx = ((p[0] / w) as usize).min(ncell - 1) as i64;
+            let cy = ((p[1] / w) as usize).min(ncell - 1) as i64;
+            let cz = ((p[2] / w) as usize).min(ncell - 1) as i64;
+            let mut f = [0.0f64; 3];
+            let mut pe = 0.0;
+            let mut flops = 0u64;
+            let nc = ncell as i64;
+            for dz in -1..=1 {
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        let cc = ((cz + dz).rem_euclid(nc) * nc + (cy + dy).rem_euclid(nc)) * nc
+                            + (cx + dx).rem_euclid(nc);
+                        for &j in &cells[cc as usize] {
+                            if j == i {
+                                continue;
                             }
+                            let d = min_image(p, pos[j]);
+                            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                            flops += 9;
+                            if r2 >= rc2 || r2 == 0.0 {
+                                continue;
+                            }
+                            let inv2 = 1.0 / r2;
+                            let inv6 = inv2 * inv2 * inv2;
+                            let inv12 = inv6 * inv6;
+                            // F/r = 24(2r⁻¹² − r⁻⁶)/r².
+                            let fr = 24.0 * (2.0 * inv12 - inv6) * inv2;
+                            for k in 0..3 {
+                                f[k] -= fr * d[k];
+                            }
+                            // Half the pair energy (pair visited twice).
+                            pe += 0.5 * 4.0 * (inv12 - inv6);
+                            flops += 20;
                         }
                     }
                 }
-                (f, pe, flops)
-            })
-            .collect();
+            }
+            (f, pe, flops)
+        };
+        let results: Vec<([f64; 3], f64, u64)> = if self.len() < PAR_MIN_PARTICLES {
+            (0..self.len()).map(per_particle).collect()
+        } else {
+            (0..self.len())
+                .into_par_iter()
+                .map(per_particle)
+                .collect_with_grain(PAR_GRAIN)
+        };
 
         let mut pe_total = 0.0;
         let mut flops_total = 0;

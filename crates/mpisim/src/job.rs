@@ -81,16 +81,23 @@ impl<'a, T: Topology> Job<'a, T> {
         if nodes.len() < 2 {
             return (nodes[0], nodes[0]);
         }
-        let topo = network.topology();
+        // When the network has already materialised its pair table (folded
+        // on TofuD — two array reads per hop query), ride it; otherwise
+        // fall back to direct coordinate routing. Both return identical hop
+        // counts, so the selected pair is the same either way.
+        let hops: &dyn Fn(NodeId, NodeId) -> usize = match network.table_if_built() {
+            Some(t) => &|a, b| t.hops(a, b),
+            None => &|a, b| network.topology().hops(a, b),
+        };
         let first = nodes[0];
         // Double sweep from the first node: near-diameter pair in O(n).
         let a = *nodes
             .iter()
-            .max_by_key(|&&n| topo.hops(first, n))
+            .max_by_key(|&&n| hops(first, n))
             .expect("non-empty");
         let b = *nodes
             .iter()
-            .max_by_key(|&&n| topo.hops(a, n))
+            .max_by_key(|&&n| hops(a, n))
             .expect("non-empty");
         (a, b)
     }

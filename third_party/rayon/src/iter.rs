@@ -117,6 +117,7 @@ pub trait ParallelIterator: Sized + Send {
             base: self,
             identity,
             fold_op,
+            grain: None,
             _acc: PhantomData,
         }
     }
@@ -127,17 +128,39 @@ pub trait ParallelIterator: Sized + Send {
     where
         C: FromIterator<Self::Item>,
     {
-        match pool::drive_fold_reduce(
-            self,
-            |seq| seq.collect::<Vec<_>>(),
-            |mut a, mut b| {
-                a.append(&mut b);
-                a
-            },
-        ) {
-            Some(v) => v.into_iter().collect(),
-            None => std::iter::empty().collect(),
-        }
+        collect_impl(self, None)
+    }
+
+    /// [`collect`](Self::collect) with an explicit reduction-grid chunk
+    /// length, for elements expensive enough that the default grid (which
+    /// keeps ≤ [`pool::DET_SINGLE_CHUNK`] elements sequential) leaves the
+    /// pool idle. Order-preserving and bit-identical to `collect` at any
+    /// grain and thread count; `grain` must be a pure function of the
+    /// input length (a constant qualifies) to keep runs reproducible.
+    fn collect_with_grain<C>(self, grain: usize) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        collect_impl(self, Some(grain))
+    }
+}
+
+fn collect_impl<I, C>(iter: I, grain: Option<usize>) -> C
+where
+    I: ParallelIterator,
+    C: FromIterator<I::Item>,
+{
+    match pool::drive_fold_reduce_grained(
+        iter,
+        grain,
+        |seq| seq.collect::<Vec<_>>(),
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    ) {
+        Some(v) => v.into_iter().collect(),
+        None => std::iter::empty().collect(),
     }
 }
 
@@ -147,6 +170,7 @@ pub struct Fold<I, A, ID, F> {
     base: I,
     identity: ID,
     fold_op: F,
+    grain: Option<usize>,
     _acc: PhantomData<fn() -> A>,
 }
 
@@ -157,6 +181,18 @@ where
     ID: Fn() -> A + Sync,
     F: Fn(A, I::Item) -> A + Sync,
 {
+    /// Override the reduction-grid chunk length. The default grid keeps
+    /// inputs of ≤ [`pool::DET_SINGLE_CHUNK`] elements in one sequential
+    /// chunk — correct when elements are cheap, but a fold whose elements
+    /// are themselves heavy (one source node of an all-pairs route sweep)
+    /// wants more chunks than that. The grid stays a pure function of
+    /// (length, grain), so any constant grain keeps results bit-identical
+    /// at every thread count.
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = Some(grain.max(1));
+        self
+    }
+
     /// Combine the per-chunk accumulators strictly in chunk order.
     pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> A
     where
@@ -167,9 +203,10 @@ where
             base,
             identity: init,
             fold_op,
+            grain,
             ..
         } = self;
-        pool::drive_fold_reduce(base, move |seq| seq.fold(init(), &fold_op), op)
+        pool::drive_fold_reduce_grained(base, grain, move |seq| seq.fold(init(), &fold_op), op)
             .unwrap_or_else(identity)
     }
 }

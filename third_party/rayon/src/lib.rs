@@ -144,6 +144,47 @@ mod tests {
     }
 
     #[test]
+    fn explicit_grain_is_bit_identical_across_thread_counts() {
+        // Heavy-element folds opt into a finer grid with `with_grain`; the
+        // grid stays a pure function of (length, grain), so the combine
+        // order — and therefore every float bit — is unchanged by the
+        // thread count.
+        let data: Vec<f64> = (0..3_000)
+            .map(|i| ((i * 2654435761_usize) % 997) as f64 * 1e-3 + (i as f64) * 1e9)
+            .collect();
+        let run = |threads| {
+            with_threads(threads, || {
+                data.par_iter()
+                    .map(|&x| x)
+                    .fold(|| 0.0f64, |a, x| a + x)
+                    .with_grain(128)
+                    .reduce(|| 0.0, |a, b| a + b)
+            })
+        };
+        // Reference: the same 128-element grid, sequentially.
+        let seq = data
+            .chunks(128)
+            .map(|c| c.iter().fold(0.0, |a, &x| a + x))
+            .fold(0.0, |a, b| a + b);
+        assert_eq!(run(1).to_bits(), seq.to_bits());
+        assert_eq!(run(4).to_bits(), seq.to_bits());
+        assert_eq!(run(8).to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn collect_with_grain_preserves_order() {
+        // 1 700 elements sits below the default sequential cutoff; a
+        // grained collect must still return them in order at any width.
+        let out: Vec<usize> = with_threads(4, || {
+            (0..1_700)
+                .into_par_iter()
+                .map(|i| i * 7)
+                .collect_with_grain(256)
+        });
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * 7));
+    }
+
+    #[test]
     fn worker_panic_propagates_and_does_not_hang() {
         let result = std::panic::catch_unwind(|| {
             with_threads(4, || {

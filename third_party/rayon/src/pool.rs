@@ -460,11 +460,38 @@ where
     FOLD: Fn(I::Seq) -> A + Sync,
     COMB: Fn(A, A) -> A,
 {
+    drive_fold_reduce_grained(iter, None, fold_chunk, combine)
+}
+
+/// [`drive_fold_reduce`] with an explicit chunk-length override. The
+/// default grid ([`det_chunk_len`]) keeps inputs of ≤
+/// [`DET_SINGLE_CHUNK`] elements in a single chunk — the right call when
+/// each element is cheap, but it serializes reductions whose elements are
+/// themselves expensive (an all-pairs route sweep folds ~10³ *sources*,
+/// each costing ~10⁵ route steps). Such callers pass a smaller grain.
+/// Determinism is preserved as long as the caller's grain is a pure
+/// function of the input length (a constant qualifies): the grid still
+/// never depends on thread count or timing.
+pub(crate) fn drive_fold_reduce_grained<I, A, FOLD, COMB>(
+    iter: I,
+    grain: Option<usize>,
+    fold_chunk: FOLD,
+    combine: COMB,
+) -> Option<A>
+where
+    I: ParallelIterator,
+    A: Send,
+    FOLD: Fn(I::Seq) -> A + Sync,
+    COMB: Fn(A, A) -> A,
+{
     let total = iter.len();
     if total == 0 {
         return None;
     }
-    let chunk = det_chunk_len(total);
+    let chunk = match grain {
+        Some(g) => g.clamp(1, total),
+        None => det_chunk_len(total),
+    };
     let nchunks = total.div_ceil(chunk);
     let threads = current_num_threads().min(nchunks);
     let partials: Vec<A> = if threads <= 1 || nchunks == 1 || IN_POOL.with(Cell::get) {
