@@ -140,6 +140,12 @@ fn bench_app_kernels(c: &mut Criterion) {
     g.bench_function("lj_forces_1728", |b| {
         b.iter(|| black_box(lj.compute_forces()))
     });
+    // The flat counting-sort cell-list rebuild (steady state: zero
+    // allocation) against the nested Vec<Vec> build it replaced.
+    g.bench_function("lj_cell_list_flat_1728", |b| b.iter(|| lj.rebuild_cells()));
+    g.bench_function("lj_cell_list_nested_1728", |b| {
+        b.iter(|| black_box(lj.cell_list_nested()))
+    });
     // OpenIFS proxy: FFT.
     let mut rng = Pcg32::seeded(2);
     let signal: Vec<(f64, f64)> = (0..4096)

@@ -8,6 +8,9 @@
 //! cluster-eval bench-all [--csv]    run everything, report wall time and cache hits/misses
 //! cluster-eval bench-all --json     measure host kernel throughput (1 thread vs pool)
 //!                                   and print the BENCH_host.json snapshot
+//! cluster-eval bench-delta [--max-var PCT]
+//!                                   run the kernel benches twice and fail if any
+//!                                   kernel's run-to-run variance exceeds PCT% (default 30)
 //! cluster-eval report [dir]         write all artifacts to <dir> (default ./report)
 //! cluster-eval cache-model [--machine cte-arm|mn4]
 //!                                   per-level hit/miss/traffic tables and %-of-peak
@@ -29,6 +32,7 @@ fn usage() -> ExitCode {
         "usage:\n  cluster-eval list\n  cluster-eval run <id> [--csv]\n  \
          cluster-eval run --all [--jobs N] [--filter GLOB]\n  \
          cluster-eval bench-all [--csv|--json]\n  \
+         cluster-eval bench-delta [--max-var PCT]\n  \
          cluster-eval report [dir]\n  cluster-eval cache-model [--machine cte-arm|mn4]\n  \
          cluster-eval table4\n  cluster-eval validate\n  \
          cluster-eval faults --campaign <name> [--jobs N] [--csv]\n  \
@@ -169,6 +173,89 @@ fn bench_all(csv: bool, json: bool) -> ExitCode {
         print_run_summary(&reports);
     }
     ExitCode::SUCCESS
+}
+
+/// The bench regression gate: run the calibrated kernel benches twice and
+/// fail if any kernel's two throughput readings disagree by more than
+/// `--max-var` percent (default 30). A pass means the calibrated timing is
+/// stable enough on this host for `BENCH_host.json` deltas to be
+/// attributed to code changes rather than measurement noise.
+fn bench_delta(args: &[String]) -> ExitCode {
+    let mut max_var = 30.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-var" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--max-var needs a percentage");
+                    return usage();
+                };
+                match v.parse::<f64>() {
+                    Ok(p) if p > 0.0 => max_var = p,
+                    _ => {
+                        eprintln!("bad --max-var value '{v}'");
+                        return usage();
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return usage();
+            }
+        }
+    }
+    let pool_threads = rayon::current_num_threads();
+    let first = cluster_eval::hostbench::run_kernel_benches(pool_threads);
+    let second = cluster_eval::hostbench::run_kernel_benches(pool_threads);
+    let mut worst = 0.0f64;
+    let mut failures = 0usize;
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}  ({} thread pool, limit {:.0}%)",
+        "kernel", "run1", "run2", "delta", pool_threads, max_var
+    );
+    for (a, b) in first.iter().zip(&second) {
+        // Compare every reported column; on a 1-wide pool value_nt
+        // duplicates value_1t, so the extra check is free.
+        for (label, va, vb) in [
+            ("1t", a.value_1t, b.value_1t),
+            ("nt", a.value_nt, b.value_nt),
+        ] {
+            if pool_threads == 1 && label == "nt" {
+                continue;
+            }
+            let mid = 0.5 * (va + vb);
+            let rel = if mid > 0.0 {
+                100.0 * (va - vb).abs() / mid
+            } else {
+                100.0
+            };
+            worst = worst.max(rel);
+            let over = rel > max_var;
+            if over {
+                failures += 1;
+            }
+            println!(
+                "{:<16} {:>9.3} {} {:>9.3} {} {:>8.1}%{}",
+                format!("{}/{}", a.name, label),
+                va,
+                a.metric,
+                vb,
+                b.metric,
+                rel,
+                if over { "  EXCEEDS LIMIT" } else { "" }
+            );
+        }
+    }
+    if failures == 0 {
+        println!("bench-delta PASS: worst variance {worst:.1}% <= {max_var:.0}%");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-delta FAIL: {failures} reading(s) above {max_var:.0}% \
+             run-to-run variance (worst {worst:.1}%)"
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// The full-Fugaku scale campaign: closed-form sweep + folded-table probe
@@ -324,6 +411,7 @@ fn main() -> ExitCode {
             args.iter().any(|a| a == "--csv"),
             args.iter().any(|a| a == "--json"),
         ),
+        Some("bench-delta") => bench_delta(&args[1..]),
         Some("report") => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "report".into());
             match cluster_eval::report::generate_report(std::path::Path::new(&dir)) {

@@ -12,9 +12,23 @@
 
 use crate::matrix::DenseMatrix;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Cache block edge, sized so three blocks fit comfortably in a 1 MiB L2.
+/// Cache block edge: [`crate::tune::gemm_block`] keeps three `BLOCK²` f64
+/// panels inside the modelled L2 slice.
 pub const BLOCK: usize = 64;
+
+/// Micro-kernel register-tile rows (columns of packed `A` per step).
+const MR: usize = 4;
+/// Micro-kernel register-tile columns (broadcast `B` entries per step).
+const NR: usize = 4;
+
+thread_local! {
+    /// Per-worker packing scratch `(apack, bpack)`, reused across calls so
+    /// steady-state GEMM performs zero allocation.
+    static PACK_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// `C ← C + A·B` (column-major, naive triple loop in j-k-i order for good
 /// column locality). Reference implementation used in tests.
@@ -34,10 +48,18 @@ pub fn gemm_reference(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
 
 /// Blocked, parallel `C ← C + A·B`. Columns of `C` are partitioned across
 /// rayon workers; inside each worker the classic (jc, kc, ic) blocking
-/// keeps the working set in cache, and each `BLOCK × BLOCK` tile of `A`
-/// and `B` is packed into a contiguous scratch buffer before the
-/// micro-kernel runs, so the innermost loop streams unit-stride packed
-/// data with no index arithmetic or bounds checks.
+/// keeps the working set in cache. Each `BLOCK`-edge tile of `A` and `B`
+/// is packed into `MR`/`NR`-major micro-panels (zero-padded to tile
+/// multiples), and an `MR × NR` register-tile micro-kernel marches the
+/// packed panels down `k`: the `C` tile lives in 16 accumulators for the
+/// whole depth instead of being re-loaded per rank-1 update.
+///
+/// Packing buffers come from a per-worker scratch arena reused across
+/// calls — steady-state GEMM allocates nothing.
+///
+/// Because every `C(i,j)` still accumulates in ascending-`k` order with
+/// plain multiply-add, and padded lanes are discarded on store, results
+/// are bit-identical to [`gemm_blocked_oracle`] — pinned by tests.
 pub fn gemm_blocked(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
     assert_eq!(a.cols, b.rows, "inner dimensions disagree");
     assert_eq!(c.rows, a.rows, "C rows disagree");
@@ -60,9 +82,106 @@ pub fn gemm_blocked(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
     };
     col_chunks.into_par_iter().for_each(|(j0, cslab)| {
         let jw = cslab.len() / c_rows;
-        // Per-worker packing scratch: `apack` holds an iw×kw tile of A
-        // column-by-column (unit stride in i), `bpack` a kw×jw tile of B
-        // column-by-column (unit stride in k).
+        let jtiles = jw.div_ceil(NR);
+        let (mut apack, mut bpack) = PACK_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        for k0 in (0..kk).step_by(BLOCK) {
+            let kw = BLOCK.min(kk - k0);
+            // Pack B into NR-major micro-panels: bpack[(jb·kw + k)·NR + jj]
+            // holds B(k0+k, j0 + jb·NR + jj), zero beyond the edge.
+            bpack.clear();
+            bpack.resize(jtiles * kw * NR, 0.0);
+            for jb in 0..jtiles {
+                let panel = &mut bpack[jb * kw * NR..(jb + 1) * kw * NR];
+                for jj in 0..NR {
+                    let j = jb * NR + jj;
+                    if j < jw {
+                        let bsrc = &b.col(j0 + j)[k0..k0 + kw];
+                        for (k2, &v) in bsrc.iter().enumerate() {
+                            panel[k2 * NR + jj] = v;
+                        }
+                    } else {
+                        for k2 in 0..kw {
+                            panel[k2 * NR + jj] = 0.0;
+                        }
+                    }
+                }
+            }
+            for i0 in (0..m).step_by(BLOCK) {
+                let iw = BLOCK.min(m - i0);
+                let itiles = iw.div_ceil(MR);
+                // Pack A into MR-major micro-panels: apack[(ib·kw + k)·MR
+                // + ii] holds A(i0 + ib·MR + ii, k0+k), zero-padded rows.
+                apack.clear();
+                apack.resize(itiles * kw * MR, 0.0);
+                for ib in 0..itiles {
+                    let panel = &mut apack[ib * kw * MR..(ib + 1) * kw * MR];
+                    for (k2, chunk) in panel.chunks_exact_mut(MR).enumerate() {
+                        let asrc = a.col(k0 + k2);
+                        for (ii, slot) in chunk.iter_mut().enumerate() {
+                            let i = ib * MR + ii;
+                            *slot = if i < iw { asrc[i0 + i] } else { 0.0 };
+                        }
+                    }
+                }
+                // Register-tiled micro-kernels over the packed panels.
+                for jb in 0..jtiles {
+                    let bpanel = &bpack[jb * kw * NR..(jb + 1) * kw * NR];
+                    let nr_eff = NR.min(jw - jb * NR);
+                    for ib in 0..itiles {
+                        let apanel = &apack[ib * kw * MR..(ib + 1) * kw * MR];
+                        let mr_eff = MR.min(iw - ib * MR);
+                        let mut acc = [[0.0f64; MR]; NR];
+                        for (jj, accj) in acc.iter_mut().enumerate().take(nr_eff) {
+                            let cj = &cslab[(jb * NR + jj) * c_rows + i0 + ib * MR..];
+                            accj[..mr_eff].copy_from_slice(&cj[..mr_eff]);
+                        }
+                        for k2 in 0..kw {
+                            let av = &apanel[k2 * MR..k2 * MR + MR];
+                            let bv = &bpanel[k2 * NR..k2 * NR + NR];
+                            for (jj, accj) in acc.iter_mut().enumerate() {
+                                let bj = bv[jj];
+                                for (ii, slot) in accj.iter_mut().enumerate() {
+                                    *slot += av[ii] * bj;
+                                }
+                            }
+                        }
+                        for (jj, accj) in acc.iter().enumerate().take(nr_eff) {
+                            let cj = &mut cslab[(jb * NR + jj) * c_rows + i0 + ib * MR..];
+                            cj[..mr_eff].copy_from_slice(&accj[..mr_eff]);
+                        }
+                    }
+                }
+            }
+        }
+        PACK_SCRATCH.with(|s| *s.borrow_mut() = (apack, bpack));
+    });
+}
+
+/// The pre-optimization blocked path (per-call packing allocation, column
+/// axpy micro-kernel), kept verbatim as the differential oracle for
+/// [`gemm_blocked`].
+#[doc(hidden)]
+pub fn gemm_blocked_oracle(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
+    assert_eq!(a.cols, b.rows, "inner dimensions disagree");
+    assert_eq!(c.rows, a.rows, "C rows disagree");
+    assert_eq!(c.cols, b.cols, "C cols disagree");
+    let (m, n, kk) = (a.rows, b.cols, a.cols);
+    let c_rows = c.rows;
+    let col_chunks: Vec<(usize, &mut [f64])> = {
+        let mut chunks = Vec::new();
+        let mut data = c.data_mut();
+        let mut j0 = 0;
+        while j0 < n {
+            let jw = BLOCK.min(n - j0);
+            let (head, tail) = data.split_at_mut(jw * c_rows);
+            chunks.push((j0, head));
+            data = tail;
+            j0 += jw;
+        }
+        chunks
+    };
+    col_chunks.into_par_iter().for_each(|(j0, cslab)| {
+        let jw = cslab.len() / c_rows;
         let mut apack = vec![0.0f64; BLOCK * BLOCK];
         let mut bpack = vec![0.0f64; BLOCK * BLOCK];
         for k0 in (0..kk).step_by(BLOCK) {
@@ -77,9 +196,6 @@ pub fn gemm_blocked(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
                     let asrc = a.col(k0 + kk2);
                     acol.copy_from_slice(&asrc[i0..i0 + iw]);
                 }
-                // Micro-kernel over the (i0..i0+iw) × (j0..j0+jw) tile:
-                // C-tile column `jj` accumulates each packed A column
-                // scaled by the packed B entry, ascending in k.
                 for jj in 0..jw {
                     let cj = &mut cslab[jj * c_rows + i0..jj * c_rows + i0 + iw];
                     for kk2 in 0..kw {
@@ -135,9 +251,9 @@ pub fn gemm_traffic_trace(m: u64, n: u64, k: u64) -> arch::Trace {
     let (mi, ki) = (m as i64, k as i64);
     let (mr, nr, jc) = (TRACE_MR as i64, TRACE_NR as i64, TRACE_JC as i64);
     t.open(n / TRACE_JC); // j0: C column chunks
-                          // Pack the A panel once per chunk: a[kk·m + iB·MR + ii] →
-                          // apack[iB·MR·k + kk·MR + ii].
-    t.open(m / TRACE_MR); // iB
+                          // Pack the A panel once per chunk: a[kk·m + ib·MR + ii] →
+                          // apack[ib·MR·k + kk·MR + ii].
+    t.open(m / TRACE_MR); // ib
     t.open(k); // kk
     t.open(TRACE_MR); // ii
     t.read(a, 0, &[0, 8 * mr, 8 * mi, 8]);
@@ -146,8 +262,8 @@ pub fn gemm_traffic_trace(m: u64, n: u64, k: u64) -> arch::Trace {
     t.close();
     t.close();
     // Micro-kernels over the chunk.
-    t.open(m / TRACE_MR); // iB
-    t.open(TRACE_JC / TRACE_NR); // jB: NR-tiles within the chunk
+    t.open(m / TRACE_MR); // ib
+    t.open(TRACE_JC / TRACE_NR); // jb: NR-tiles within the chunk
     t.open(k); // kk: rank-1 updates
     t.open(TRACE_MR); // ii: one packed A column
     t.read(apack, 0, &[0, 8 * mr * ki, 0, 8 * mr, 8]);
@@ -162,8 +278,8 @@ pub fn gemm_traffic_trace(m: u64, n: u64, k: u64) -> arch::Trace {
     t.write(c, 0, &[8 * jc * mi, 8 * mr, 8 * nr * mi, 8 * mi, 8]);
     t.close();
     t.close();
-    t.close(); // jB
-    t.close(); // iB
+    t.close(); // jb
+    t.close(); // ib
     t.close(); // j0
     t.build()
 }
@@ -203,6 +319,30 @@ mod tests {
         gemm_blocked(&a, &b, &mut c2);
         for (x, y) in c1.data().iter().zip(c2.data()) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn register_tiled_path_matches_oracle_bitwise() {
+        let mut rng = Pcg32::seeded(9);
+        // Edge-straddling shapes: exact tile multiples, ragged in every
+        // dimension, and k crossing a block boundary.
+        for (m, n, k) in [
+            (64, 64, 64),
+            (65, 63, 129),
+            (7, 5, 3),
+            (1, 1, 1),
+            (68, 68, 64),
+        ] {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let mut c1 = random_matrix(m, n, &mut rng);
+            let mut c2 = c1.clone();
+            gemm_blocked(&a, &b, &mut c1);
+            gemm_blocked_oracle(&a, &b, &mut c2);
+            for (x, y) in c1.data().iter().zip(c2.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{n}x{k}: {x} vs {y}");
+            }
         }
     }
 

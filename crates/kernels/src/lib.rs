@@ -25,6 +25,8 @@
 //!   proxy (Figs. 12–13).
 //! * [`spectral`] — radix-2 FFT and small dense spectral transforms: the
 //!   OpenIFS proxy (Figs. 14–15).
+//! * [`tune`] — the shared tuning knobs (parallel cutoffs, chunk and tile
+//!   sizes), derived from the [`arch::cachesim`] A64FX cache model.
 //!
 //! Each kernel reports its operation counts (`flops()` / `bytes()`), which
 //! the simulator crates turn into [`arch`-style] kernel profiles; the
@@ -46,3 +48,4 @@ pub mod spectral;
 pub mod stencil;
 pub mod stencil_matrix;
 pub mod stream;
+pub mod tune;

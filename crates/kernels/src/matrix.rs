@@ -212,8 +212,7 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "x dimension mismatch");
         assert_eq!(y.len(), self.n, "y dimension mismatch");
-        let tasks = (rayon::current_num_threads() * 4).max(1);
-        let chunk = self.n.div_ceil(tasks).max(256);
+        let chunk = crate::tune::par_chunk_rows(self.n);
         y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
             let base = ci * chunk;
             for (r, yi) in yc.iter_mut().enumerate() {

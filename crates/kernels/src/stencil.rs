@@ -7,6 +7,7 @@
 //!   dynamics proxy) plus the per-hour output-frame serialization the WRF
 //!   study toggles on and off.
 
+use crate::tune;
 use rayon::prelude::*;
 
 /// A 2-D ocean state on an `nx × ny` C-grid: surface height `eta` and
@@ -29,6 +30,64 @@ pub struct OceanGrid {
 const G: f64 = 9.81;
 /// Resting depth (m).
 const H: f64 = 100.0;
+
+/// One row of the height update, `eta[i] -= ch·(du + dv)`: branch-free
+/// interior (the periodic x-wrap is peeled to the last element) with the
+/// `du + dv` association of the original per-element loop. `vnext` is
+/// `None` on the top wall row, where the original code negates `v`
+/// directly (not `0.0 - v`, which would flip the sign bit of zeros).
+#[inline]
+fn eta_row_update(row: &mut [f64], urow: &[f64], vrow: &[f64], vnext: Option<&[f64]>, ch: f64) {
+    let nx = row.len();
+    let m = nx - 1;
+    match vnext {
+        Some(vn) => {
+            for (((r, uw), vn), vc) in row[..m]
+                .iter_mut()
+                .zip(urow.windows(2))
+                .zip(&vn[..m])
+                .zip(&vrow[..m])
+            {
+                let du = uw[1] - uw[0];
+                let dv = vn - vc;
+                *r -= ch * (du + dv);
+            }
+            let du = urow[0] - urow[m];
+            let dv = vn[m] - vrow[m];
+            row[m] -= ch * (du + dv);
+        }
+        None => {
+            for ((r, uw), vc) in row[..m].iter_mut().zip(urow.windows(2)).zip(&vrow[..m]) {
+                let du = uw[1] - uw[0];
+                let dv = -vc;
+                *r -= ch * (du + dv);
+            }
+            let du = urow[0] - urow[m];
+            let dv = -vrow[m];
+            row[m] -= ch * (du + dv);
+        }
+    }
+}
+
+/// One row of the zonal-velocity update, `u[i] -= cg·(eta[i] − eta[i−1])`,
+/// with the periodic wrap peeled to `i = 0`.
+#[inline]
+fn u_row_update(urow: &mut [f64], erow: &[f64], cg: f64) {
+    let nx = urow.len();
+    urow[0] -= cg * (erow[0] - erow[nx - 1]);
+    for (u, ew) in urow[1..].iter_mut().zip(erow.windows(2)) {
+        *u -= cg * (ew[1] - ew[0]);
+    }
+}
+
+/// One row of the meridional-velocity update,
+/// `v[i] -= cg·(eta[j][i] − eta[j−1][i])` — pure elementwise zip.
+#[inline]
+fn v_row_update(vrow: &mut [f64], erow: &[f64], erow_south: &[f64], cg: f64) {
+    for ((v, ec), es) in vrow.iter_mut().zip(erow).zip(erow_south) {
+        *v -= cg * (ec - es);
+    }
+}
 
 impl OceanGrid {
     /// A grid at rest with a Gaussian elevation bump in the middle.
@@ -62,7 +121,109 @@ impl OceanGrid {
     /// One leapfrog-style shallow-water step with time step `dt` and grid
     /// spacing `dx`. Periodic in x (east–west), closed walls in y.
     /// Returns `(flops, bytes)` executed.
+    ///
+    /// Two implementations, both bit-identical to [`Self::step_reference`]
+    /// (the updates are elementwise with unchanged expressions, so only
+    /// the traversal order differs):
+    ///
+    /// * pools with >1 thread run two parallel row passes — the height
+    ///   update, then a fused u+v pass that reads each freshly-written
+    ///   `eta` row once for both velocity components;
+    /// * a 1-thread pool runs a fully fused y-tiled sweep, tile height
+    ///   sized by [`tune::ocean_tile_rows`] so three fields over a tile
+    ///   plus halo stay resident in the modelled 64 KiB L1d.
     pub fn step(&mut self, dt: f64, dx: f64) -> (u64, u64) {
+        let (nx, ny) = (self.nx, self.ny);
+        let ch = (dt / dx) * H;
+        let cg = (dt / dx) * G;
+        if rayon::current_num_threads() <= 1 {
+            self.step_fused_tiled(ch, cg);
+        } else {
+            self.step_two_pass(ch, cg);
+        }
+        let cells = (nx * ny) as u64;
+        // ~10 flops and 7 f64 touches per cell across the three sweeps.
+        (cells * 10, cells * 7 * 8)
+    }
+
+    /// Parallel path: height pass, then one fused velocity pass.
+    fn step_two_pass(&mut self, ch: f64, cg: f64) {
+        let (nx, ny) = (self.nx, self.ny);
+        {
+            let u = &self.u;
+            let v = &self.v;
+            self.eta
+                .par_chunks_mut(nx)
+                .enumerate()
+                .for_each(|(j, row)| {
+                    let urow = &u[j * nx..(j + 1) * nx];
+                    let vrow = &v[j * nx..(j + 1) * nx];
+                    let vnext = if j + 1 < ny {
+                        Some(&v[(j + 1) * nx..(j + 2) * nx])
+                    } else {
+                        None
+                    };
+                    eta_row_update(row, urow, vrow, vnext, ch);
+                });
+        }
+        {
+            let eta = &self.eta;
+            self.u
+                .par_chunks_mut(nx)
+                .zip(self.v.par_chunks_mut(nx))
+                .enumerate()
+                .for_each(|(j, (urow, vrow))| {
+                    let erow = &eta[j * nx..(j + 1) * nx];
+                    u_row_update(urow, erow, cg);
+                    if j == 0 {
+                        vrow.fill(0.0);
+                    } else {
+                        v_row_update(vrow, erow, &eta[(j - 1) * nx..j * nx], cg);
+                    }
+                });
+        }
+    }
+
+    /// Single-thread path: all three updates fused per y-tile, so each
+    /// tile's rows of eta/u/v are touched once per step while L1-resident.
+    /// Row `j`'s height update reads only `v` rows `j` and `j+1`, which
+    /// the velocity half of the current tile has not yet written, so the
+    /// fusion computes exactly the two-pass values.
+    fn step_fused_tiled(&mut self, ch: f64, cg: f64) {
+        let (nx, ny) = (self.nx, self.ny);
+        let tile = tune::ocean_tile_rows(nx);
+        let mut j0 = 0;
+        while j0 < ny {
+            let j1 = (j0 + tile).min(ny);
+            for j in j0..j1 {
+                let urow = &self.u[j * nx..(j + 1) * nx];
+                let vrow = &self.v[j * nx..(j + 1) * nx];
+                let vnext = if j + 1 < ny {
+                    Some(&self.v[(j + 1) * nx..(j + 2) * nx])
+                } else {
+                    None
+                };
+                let row = &mut self.eta[j * nx..(j + 1) * nx];
+                eta_row_update(row, urow, vrow, vnext, ch);
+            }
+            for j in j0..j1 {
+                let erow = &self.eta[j * nx..(j + 1) * nx];
+                u_row_update(&mut self.u[j * nx..(j + 1) * nx], erow, cg);
+                let vrow = &mut self.v[j * nx..(j + 1) * nx];
+                if j == 0 {
+                    vrow.fill(0.0);
+                } else {
+                    v_row_update(vrow, erow, &self.eta[(j - 1) * nx..j * nx], cg);
+                }
+            }
+            j0 = j1;
+        }
+    }
+
+    /// The pre-optimization three-sweep step, kept verbatim as the
+    /// differential oracle for the tiled and fused paths.
+    #[doc(hidden)]
+    pub fn step_reference(&mut self, dt: f64, dx: f64) -> (u64, u64) {
         let (nx, ny) = (self.nx, self.ny);
         let c = dt / dx;
         // Height update from velocity divergence.
@@ -103,7 +264,6 @@ impl OceanGrid {
             }
         });
         let cells = (nx * ny) as u64;
-        // ~10 flops and 7 f64 touches per cell across the three sweeps.
         (cells * 10, cells * 7 * 8)
     }
 
@@ -301,6 +461,28 @@ mod tests {
             e1.is_finite() && e1 < 10.0 * e0,
             "energy blew up: {e0} -> {e1}"
         );
+    }
+
+    #[test]
+    fn tiled_step_matches_reference_bitwise() {
+        // Grid tall enough that the 1-thread path crosses several tiles
+        // (tile height for nx=256 is 32 - 2 rows), wide enough that rows
+        // matter; run many steps so divergence would compound.
+        let mut opt = OceanGrid::with_bump(256, 96);
+        let mut refr = opt.clone();
+        for _ in 0..25 {
+            opt.step(0.001, 1.0);
+            refr.step_reference(0.001, 1.0);
+        }
+        for (field, (x, y)) in [
+            ("eta", (&opt.eta, &refr.eta)),
+            ("u", (&opt.u, &refr.u)),
+            ("v", (&opt.v, &refr.v)),
+        ] {
+            for (i, (a, b)) in x.iter().zip(y.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{field}[{i}]: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -34,7 +34,15 @@
 //! [`crate::cg::symgs`] stays as the reference oracle.
 
 use crate::matrix::SparseOp;
+use crate::tune;
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch for [`StencilMatrix::symgs_colored`], reused
+    /// across sweeps so the smoother stops allocating per call.
+    static SYMGS_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Lane index of the diagonal (dz = dy = dx = 0).
 const CENTER: usize = 13;
@@ -167,8 +175,7 @@ impl StencilMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "x dimension mismatch");
         assert_eq!(y.len(), self.n, "y dimension mismatch");
-        let tasks = (rayon::current_num_threads() * 4).max(1);
-        let chunk = self.n.div_ceil(tasks).max(256);
+        let chunk = tune::par_chunk_rows(self.n);
         y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
             self.spmv_rows(ci * chunk, x, yc);
         });
@@ -215,20 +222,35 @@ impl StencilMatrix {
         }
     }
 
-    /// Interior rows `[lo, hi)` lane-major: per lane, one coefficient times
-    /// one contiguous shifted slice of `x`. Lanes accumulate in lane order,
-    /// so each element's sum associates exactly like the per-row path.
+    /// Interior rows `[lo, hi)` lane-major: 8-wide output blocks held in
+    /// registers while all 27 lanes accumulate (lane-inner), so each block
+    /// of `out` is written once instead of read-modified 27 times. Per
+    /// element the lanes still add in ascending lane order, so every sum
+    /// associates exactly like the per-row path — bitwise unchanged.
     fn lane_major_run(&self, lo: usize, hi: usize, x: &[f64], out: &mut [f64]) {
+        const W: usize = 8;
         let len = hi - lo;
-        for o in out.iter_mut() {
-            *o = 0.0;
-        }
-        for l in 0..27 {
-            let v = self.lane_values[l];
-            let src = &x[(lo as i64 + self.offsets[l]) as usize..][..len];
-            for (o, &xv) in out.iter_mut().zip(src) {
-                *o += v * xv;
+        let vals = &self.lane_values;
+        let offsets = &self.offsets;
+        let blocks = len / W;
+        for (bi, ov) in out.chunks_exact_mut(W).enumerate().take(blocks) {
+            let base = lo + bi * W;
+            let mut acc = [0.0f64; W];
+            for l in 0..27 {
+                let v = vals[l];
+                let src = &x[(base as i64 + offsets[l]) as usize..][..W];
+                for u in 0..W {
+                    acc[u] += v * src[u];
+                }
             }
+            ov.copy_from_slice(&acc);
+        }
+        for (j, o) in out.iter_mut().enumerate().skip(blocks * W) {
+            let mut sum = 0.0;
+            for l in 0..27 {
+                sum += vals[l] * x[((lo + j) as i64 + offsets[l]) as usize];
+            }
+            *o = sum;
         }
     }
 
@@ -271,17 +293,93 @@ impl StencilMatrix {
             "zero diagonal: Gauss–Seidel is undefined"
         );
         let max = self.colors.iter().map(ColorSet::len).max().unwrap_or(0);
-        let mut scratch = vec![0.0; max];
+        // Scratch comes from a per-thread arena (take / put back, so the
+        // borrow is never held across the parallel region): repeated
+        // sweeps — HPCG runs thousands — stop allocating entirely.
+        let mut scratch = SYMGS_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        if scratch.len() < max {
+            scratch.resize(max, 0.0);
+        }
         for c in 0..self.colors.len() {
             self.color_sweep(c, r, x, &mut scratch);
         }
         for c in (0..self.colors.len()).rev() {
             self.color_sweep(c, r, x, &mut scratch);
         }
+        SYMGS_SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    }
+
+    /// The pre-optimization sweep (fresh scratch allocation, one row per
+    /// inner step), kept verbatim as the differential oracle for the
+    /// scratch-reusing blocked path.
+    #[doc(hidden)]
+    pub fn symgs_colored_fresh(&self, r: &[f64], x: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "rhs dimension mismatch");
+        assert_eq!(x.len(), self.n, "x dimension mismatch");
+        assert!(
+            self.lane_values[CENTER] != 0.0,
+            "zero diagonal: Gauss–Seidel is undefined"
+        );
+        let max = self.colors.iter().map(ColorSet::len).max().unwrap_or(0);
+        let mut scratch = vec![0.0; max];
+        for c in 0..self.colors.len() {
+            self.color_sweep_ref(c, r, x, &mut scratch);
+        }
+        for c in (0..self.colors.len()).rev() {
+            self.color_sweep_ref(c, r, x, &mut scratch);
+        }
     }
 
     /// Update every row of one color against the frozen `x`, then scatter.
+    /// Interior rows go 4 at a time: four independent 26-lane
+    /// multiply-subtract chains interleave where the single-row path
+    /// serialized one ~26-deep dependency chain per row.
     fn color_sweep(&self, color: usize, r: &[f64], x: &mut [f64], scratch: &mut [f64]) {
+        let set = &self.colors[color];
+        let diag = self.lane_values[CENTER];
+        for (rows, interior) in [(&set.interior, true), (&set.boundary, false)] {
+            if rows.is_empty() {
+                continue;
+            }
+            let new = &mut scratch[..rows.len()];
+            let xs: &[f64] = x;
+            let chunk = tune::par_chunk_rows(rows.len());
+            new.par_chunks_mut(chunk).enumerate().for_each(|(ci, out)| {
+                let base = ci * chunk;
+                if interior {
+                    let mut k = 0;
+                    while k + 4 <= out.len() {
+                        let idx = [
+                            rows[base + k],
+                            rows[base + k + 1],
+                            rows[base + k + 2],
+                            rows[base + k + 3],
+                        ];
+                        let sums = self.gs_offdiag_interior4(idx, r, xs);
+                        for (slot, sum) in out[k..k + 4].iter_mut().zip(sums) {
+                            *slot = sum / diag;
+                        }
+                        k += 4;
+                    }
+                    for (slot, &i) in out[k..].iter_mut().zip(&rows[base + k..]) {
+                        *slot = self.gs_offdiag_interior(i, r, xs) / diag;
+                    }
+                } else {
+                    for (k, slot) in out.iter_mut().enumerate() {
+                        let i = rows[base + k];
+                        *slot = self.gs_offdiag_masked(i, r, xs) / diag;
+                    }
+                }
+            });
+            // Scatter: same-color rows are independent, so order is free.
+            for (&i, &v) in rows.iter().zip(new.iter()) {
+                x[i] = v;
+            }
+        }
+    }
+
+    /// The pre-optimization per-row sweep backing [`Self::symgs_colored_fresh`].
+    fn color_sweep_ref(&self, color: usize, r: &[f64], x: &mut [f64], scratch: &mut [f64]) {
         let set = &self.colors[color];
         let diag = self.lane_values[CENTER];
         for (rows, interior) in [(&set.interior, true), (&set.boundary, false)] {
@@ -304,7 +402,6 @@ impl StencilMatrix {
                     *slot = sum / diag;
                 }
             });
-            // Scatter: same-color rows are independent, so order is free.
             for (&i, &v) in rows.iter().zip(new.iter()) {
                 x[i] = v;
             }
@@ -318,6 +415,25 @@ impl StencilMatrix {
         for l in 0..27 {
             if l != CENTER {
                 sum -= self.lane_values[l] * x[(i as i64 + self.offsets[l]) as usize];
+            }
+        }
+        sum
+    }
+
+    /// Four interior rows at once: per lane, four independent
+    /// multiply-subtracts. Each row's sum still walks lanes in ascending
+    /// order, so every element is bitwise equal to
+    /// [`Self::gs_offdiag_interior`].
+    #[inline]
+    fn gs_offdiag_interior4(&self, idx: [usize; 4], r: &[f64], x: &[f64]) -> [f64; 4] {
+        let mut sum = [r[idx[0]], r[idx[1]], r[idx[2]], r[idx[3]]];
+        for l in 0..27 {
+            if l != CENTER {
+                let v = self.lane_values[l];
+                let o = self.offsets[l];
+                for (s, &i) in sum.iter_mut().zip(&idx) {
+                    *s -= v * x[(i as i64 + o) as usize];
+                }
             }
         }
         sum
@@ -515,6 +631,26 @@ mod tests {
         st.spmv(&x, &mut ax);
         let r: Vec<f64> = b.iter().zip(&ax).map(|(b, a)| b - a).collect();
         assert!(norm2(&r) < norm2(&b), "one colored sweep reduces ‖r‖");
+    }
+
+    #[test]
+    fn blocked_scratch_reusing_sweep_matches_fresh_path_bitwise() {
+        // Grids whose interior color lists are empty, smaller than the
+        // 4-row block, and several blocks long — plus repeated sweeps so
+        // scratch reuse is actually exercised.
+        for (nx, ny, nz) in [(2, 2, 2), (4, 4, 4), (9, 9, 9), (16, 8, 8)] {
+            let st = StencilMatrix::hpcg(nx, ny, nz);
+            let b: Vec<f64> = (0..st.n).map(|i| ((i % 11) as f64) - 5.0).collect();
+            let mut x_opt = vec![0.0; st.n];
+            let mut x_ref = vec![0.0; st.n];
+            for _ in 0..3 {
+                st.symgs_colored(&b, &mut x_opt);
+                st.symgs_colored_fresh(&b, &mut x_ref);
+            }
+            for (i, (a, c)) in x_opt.iter().zip(&x_ref).enumerate() {
+                assert_eq!(a.to_bits(), c.to_bits(), "{nx}x{ny}x{nz} row {i}");
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,82 @@
 //! of each touched array, no write-allocate accounting), so harnesses can
 //! convert measured time into the bandwidth number STREAM prints.
 
+use crate::tune;
 use rayon::prelude::*;
+
+/// Unroll width of the STREAM bodies: 8 doubles = 64 B, a quarter of the
+/// A64FX's 256 B line and one full SVE-512 vector of f64 per two lanes.
+const UNROLL: usize = 8;
+
+/// `dst[i] = src[i]`, 8-wide unrolled with a scalar remainder tail.
+#[inline]
+fn copy_body(dst: &mut [f64], src: &[f64]) {
+    let mut d = dst.chunks_exact_mut(UNROLL);
+    let mut s = src.chunks_exact(UNROLL);
+    for (dv, sv) in (&mut d).zip(&mut s) {
+        dv.copy_from_slice(sv);
+    }
+    for (dv, sv) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dv = *sv;
+    }
+}
+
+/// `dst[i] = q·src[i]`.
+#[inline]
+fn scale_body(dst: &mut [f64], src: &[f64], q: f64) {
+    let mut d = dst.chunks_exact_mut(UNROLL);
+    let mut s = src.chunks_exact(UNROLL);
+    for (dv, sv) in (&mut d).zip(&mut s) {
+        for u in 0..UNROLL {
+            dv[u] = q * sv[u];
+        }
+    }
+    for (dv, sv) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dv = q * *sv;
+    }
+}
+
+/// `dst[i] = x[i] + y[i]`.
+#[inline]
+fn add_body(dst: &mut [f64], x: &[f64], y: &[f64]) {
+    let mut d = dst.chunks_exact_mut(UNROLL);
+    let mut xs = x.chunks_exact(UNROLL);
+    let mut ys = y.chunks_exact(UNROLL);
+    for ((dv, xv), yv) in (&mut d).zip(&mut xs).zip(&mut ys) {
+        for u in 0..UNROLL {
+            dv[u] = xv[u] + yv[u];
+        }
+    }
+    for ((dv, xv), yv) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(xs.remainder())
+        .zip(ys.remainder())
+    {
+        *dv = *xv + *yv;
+    }
+}
+
+/// `dst[i] = x[i] + q·y[i]` — the FMA-shaped triad body.
+#[inline]
+fn triad_body(dst: &mut [f64], x: &[f64], y: &[f64], q: f64) {
+    let mut d = dst.chunks_exact_mut(UNROLL);
+    let mut xs = x.chunks_exact(UNROLL);
+    let mut ys = y.chunks_exact(UNROLL);
+    for ((dv, xv), yv) in (&mut d).zip(&mut xs).zip(&mut ys) {
+        for u in 0..UNROLL {
+            dv[u] = xv[u] + q * yv[u];
+        }
+    }
+    for ((dv, xv), yv) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(xs.remainder())
+        .zip(ys.remainder())
+    {
+        *dv = *xv + q * *yv;
+    }
+}
 
 /// The four STREAM kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,8 +193,61 @@ impl StreamArrays {
         false
     }
 
-    /// Run one kernel sequentially with scalar `q = 3.0`.
+    /// Run one kernel sequentially with scalar `q = 3.0`, through the
+    /// 8-wide unrolled bodies. Elementwise, so bitwise identical to
+    /// [`Self::run_reference`] — pinned by tests.
     pub fn run_sequential(&mut self, k: StreamKernel) {
+        let q = 3.0;
+        match k {
+            StreamKernel::Copy => copy_body(&mut self.c, &self.a),
+            StreamKernel::Scale => scale_body(&mut self.b, &self.c, q),
+            StreamKernel::Add => add_body(&mut self.c, &self.a, &self.b),
+            StreamKernel::Triad => triad_body(&mut self.a, &self.b, &self.c, q),
+        }
+    }
+
+    /// Run one kernel with rayon (the OpenMP-parallel analogue): the
+    /// arrays are cut into unroll-aligned chunks (so every chunk but the
+    /// last runs the 8-wide fast path end-to-end) and each chunk runs the
+    /// same body as [`Self::run_sequential`]. Elementwise ⇒ bit-identical
+    /// to the sequential path at any thread count.
+    pub fn run_parallel(&mut self, k: StreamKernel) {
+        let q = 3.0;
+        let chunk = tune::stream_chunk(self.len());
+        match k {
+            StreamKernel::Copy => {
+                self.c
+                    .par_chunks_mut(chunk)
+                    .zip(self.a.par_chunks(chunk))
+                    .for_each(|(cv, av)| copy_body(cv, av));
+            }
+            StreamKernel::Scale => {
+                self.b
+                    .par_chunks_mut(chunk)
+                    .zip(self.c.par_chunks(chunk))
+                    .for_each(|(bv, cv)| scale_body(bv, cv, q));
+            }
+            StreamKernel::Add => {
+                self.c
+                    .par_chunks_mut(chunk)
+                    .zip(self.a.par_chunks(chunk))
+                    .zip(self.b.par_chunks(chunk))
+                    .for_each(|((cv, av), bv)| add_body(cv, av, bv));
+            }
+            StreamKernel::Triad => {
+                self.a
+                    .par_chunks_mut(chunk)
+                    .zip(self.b.par_chunks(chunk))
+                    .zip(self.c.par_chunks(chunk))
+                    .for_each(|((av, bv), cv)| triad_body(av, bv, cv, q));
+            }
+        }
+    }
+
+    /// The pre-optimization scalar bodies, kept verbatim as the
+    /// differential oracle for the unrolled paths.
+    #[doc(hidden)]
+    pub fn run_reference(&mut self, k: StreamKernel) {
         let q = 3.0;
         match k {
             StreamKernel::Copy => {
@@ -141,39 +269,6 @@ impl StreamArrays {
                 for ((a, b), c) in self.a.iter_mut().zip(&self.b).zip(&self.c) {
                     *a = *b + q * *c;
                 }
-            }
-        }
-    }
-
-    /// Run one kernel with rayon (the OpenMP-parallel analogue).
-    pub fn run_parallel(&mut self, k: StreamKernel) {
-        let q = 3.0;
-        match k {
-            StreamKernel::Copy => {
-                self.c
-                    .par_iter_mut()
-                    .zip(&self.a)
-                    .for_each(|(c, a)| *c = *a);
-            }
-            StreamKernel::Scale => {
-                self.b
-                    .par_iter_mut()
-                    .zip(&self.c)
-                    .for_each(|(b, c)| *b = q * *c);
-            }
-            StreamKernel::Add => {
-                self.c
-                    .par_iter_mut()
-                    .zip(&self.a)
-                    .zip(&self.b)
-                    .for_each(|((c, a), b)| *c = *a + *b);
-            }
-            StreamKernel::Triad => {
-                self.a
-                    .par_iter_mut()
-                    .zip(&self.b)
-                    .zip(&self.c)
-                    .for_each(|((a, b), c)| *a = *b + q * *c);
             }
         }
     }
@@ -258,6 +353,26 @@ mod tests {
         assert_eq!(seq.a, par.a);
         assert_eq!(seq.b, par.b);
         assert_eq!(seq.c, par.c);
+    }
+
+    #[test]
+    fn unrolled_bodies_match_reference_bitwise() {
+        // Lengths straddling the 8-wide unroll: pure remainder, exact
+        // multiple, and a ragged tail.
+        for n in [1, 5, 8, 16, 1000, 1003] {
+            let mut opt = StreamArrays::new(n);
+            let mut refr = StreamArrays::new(n);
+            for _ in 0..3 {
+                for k in StreamKernel::ALL {
+                    opt.run_sequential(k);
+                    refr.run_reference(k);
+                }
+            }
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&opt.a), bits(&refr.a), "n={n}");
+            assert_eq!(bits(&opt.b), bits(&refr.b), "n={n}");
+            assert_eq!(bits(&opt.c), bits(&refr.c), "n={n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Centralized tuning knobs for the host kernels.
+//!
+//! Every kernel in this crate used to carry its own ad-hoc constants: md's
+//! 256-particle parallel cutoff, the sparse kernels' 256-row minimum chunk,
+//! the GEMM block edge. This module derives them all from one place — the
+//! [`arch::cachesim`] A64FX per-core model (64 KiB 4-way L1d with 256 B
+//! lines, 896 KiB L2 slice) — so the numbers are documented by
+//! construction and change together if the modelled hierarchy ever does.
+//!
+//! Two invariants matter more than the exact values:
+//!
+//! 1. **Determinism.** Every function here is a pure function of the
+//!    problem size and the (fixed) cache geometry — never of the live
+//!    thread count in a way that changes *results*. Chunk and grain sizes
+//!    only partition elementwise or order-reduced work, which the vendored
+//!    pool already keeps bit-identical at any thread count.
+//! 2. **Back-compatibility.** The derived values reproduce the historical
+//!    constants exactly (256-row chunks, 256-particle cutoff, 64-wide GEMM
+//!    blocks), so goldens and bench history stay comparable.
+
+use arch::cachesim::HierarchyConfig;
+use std::sync::OnceLock;
+
+/// Cached geometry of the modelled A64FX core slice.
+struct CacheGeom {
+    l1d_bytes: usize,
+    l2_slice_bytes: usize,
+    line_bytes: usize,
+}
+
+fn geom() -> &'static CacheGeom {
+    static GEOM: OnceLock<CacheGeom> = OnceLock::new();
+    GEOM.get_or_init(|| {
+        let h = HierarchyConfig::a64fx_core();
+        CacheGeom {
+            l1d_bytes: h.levels[0].capacity_bytes() as usize,
+            l2_slice_bytes: h.levels[1].capacity_bytes() as usize,
+            line_bytes: h.line_bytes() as usize,
+        }
+    })
+}
+
+/// L1d capacity of the modelled core (64 KiB on the A64FX).
+pub fn l1d_capacity_bytes() -> usize {
+    geom().l1d_bytes
+}
+
+/// One core's fair slice of the CMG-shared L2 (896 KiB on the A64FX).
+pub fn l2_slice_capacity_bytes() -> usize {
+    geom().l2_slice_bytes
+}
+
+/// Cache-line size shared by the hierarchy (256 B on the A64FX).
+pub fn cache_line_bytes() -> usize {
+    geom().line_bytes
+}
+
+/// Rows (or elements) per parallel task for row-partitioned sparse and
+/// dense sweeps: aim for ~4 tasks per pool thread, but never split finer
+/// than one L1d's worth of cache lines (64 KiB / 256 B = 256 rows) — below
+/// that, task dispatch costs more than the work it covers.
+pub fn par_chunk_rows(n: usize) -> usize {
+    let tasks = (rayon::current_num_threads() * 4).max(1);
+    n.div_ceil(tasks)
+        .max(l1d_capacity_bytes() / cache_line_bytes())
+}
+
+/// Elements per parallel task for the STREAM bodies, rounded up to the
+/// 8-wide unroll so every chunk but the last runs the unrolled fast path
+/// end-to-end. The floor is half an L1d of doubles (4096 elements): a
+/// bandwidth kernel chunk smaller than that is pure dispatch overhead.
+pub fn stream_chunk(n: usize) -> usize {
+    let tasks = (rayon::current_num_threads() * 4).max(1);
+    let floor = l1d_capacity_bytes() / (2 * std::mem::size_of::<f64>());
+    n.div_ceil(tasks).max(floor).next_multiple_of(8)
+}
+
+/// Particle count below which the MD force kernel skips the pool: one
+/// particle's pair work covers roughly a cache line of neighbour data, so
+/// the cutover sits at one L1d of lines (= 256 particles, the historical
+/// constant, now derived instead of guessed).
+pub fn md_par_min_particles() -> usize {
+    l1d_capacity_bytes() / cache_line_bytes()
+}
+
+/// Number of cell-range chunks (= private force accumulators) for the MD
+/// half-neighbor traversal. More chunks expose more parallelism but cost
+/// one n-particle force buffer each, so the count is capped where the
+/// buffers (24 B per particle per chunk) would overflow the L2 slice, and
+/// never exceeds one chunk per 27-cell neighbourhood. Pure function of
+/// the system size — never of the thread count — so the fixed-order
+/// reduction over chunks is bit-identical on any pool.
+pub fn md_force_chunks(nparticles: usize, ncells: usize) -> usize {
+    let by_cells = ncells.div_ceil(27).max(1);
+    let buf_bytes = 24 * nparticles.max(1);
+    let by_l2 = (l2_slice_capacity_bytes() / buf_bytes).max(1);
+    by_cells.min(by_l2).min(8)
+}
+
+/// Ocean-stencil tile height for the fused single-thread path: the
+/// largest row count `t` such that three fields (eta, u, v) over `t + 2`
+/// rows — the tile plus its one-row halo above and below — fit in L1d.
+pub fn ocean_tile_rows(nx: usize) -> usize {
+    let rows = l1d_capacity_bytes() / (3 * 8 * nx.max(1));
+    rows.saturating_sub(2).max(1)
+}
+
+/// GEMM cache-block edge: 64 keeps three `B²` f64 panels (A-pack, B-pack
+/// and the live C slab) at 96 KiB — comfortably inside the 896 KiB L2
+/// slice, with single packed panels (32 KiB) spanning half the L1d.
+pub fn gemm_block() -> usize {
+    64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_the_a64fx_model() {
+        assert_eq!(l1d_capacity_bytes(), 64 * 1024);
+        assert_eq!(l2_slice_capacity_bytes(), 896 * 1024);
+        assert_eq!(cache_line_bytes(), 256);
+    }
+
+    #[test]
+    fn chunk_floor_reproduces_the_historical_constant() {
+        // Tiny inputs always land on the 256-row floor the kernels used
+        // before this module existed.
+        assert_eq!(par_chunk_rows(1), 256);
+        assert_eq!(md_par_min_particles(), 256);
+    }
+
+    #[test]
+    fn stream_chunks_are_unroll_aligned() {
+        for n in [1, 7, 4096, 100_000, 1 << 22] {
+            assert_eq!(stream_chunk(n) % 8, 0, "n={n}");
+            assert!(stream_chunk(n) >= 4096.min(n.next_multiple_of(8)));
+        }
+    }
+
+    #[test]
+    fn md_chunk_buffers_fit_the_l2_slice() {
+        for (n, ncells) in [(64, 8), (1728, 216), (100_000, 1000), (8, 1)] {
+            let k = md_force_chunks(n, ncells);
+            assert!(k >= 1);
+            assert!(k * n * 24 <= l2_slice_capacity_bytes().max(n * 24), "n={n}");
+            assert!(k <= ncells.div_ceil(27).max(1));
+        }
+    }
+
+    #[test]
+    fn ocean_tile_keeps_three_fields_in_l1() {
+        for nx in [16, 64, 512, 4096] {
+            let t = ocean_tile_rows(nx);
+            assert!(t >= 1);
+            // Either the tile plus halo fits, or we are at the floor.
+            assert!(t == 1 || 3 * (t + 2) * nx * 8 <= l1d_capacity_bytes());
+        }
+    }
+
+    #[test]
+    fn gemm_block_panels_fit_the_l2_slice() {
+        let b = gemm_block();
+        assert!(3 * b * b * 8 <= l2_slice_capacity_bytes());
+    }
+}

@@ -1,0 +1,273 @@
+//! Differential oracles for the raw-speed kernel pass.
+//!
+//! Every optimized hot loop in `crates/kernels` keeps its pre-optimization
+//! implementation as a `#[doc(hidden)]` oracle. This suite pins the
+//! optimized paths **bitwise** equal to those oracles — under pools of 1,
+//! 2 and 8 workers — so the unrolled/tiled/half-neighbor rewrites can
+//! never drift from the arithmetic the goldens were generated with:
+//!
+//! * STREAM: 8-wide unrolled bodies vs. the straight-line reference.
+//! * GEMM: the register-tiled, scratch-packing micro-kernel vs. the
+//!   original per-element blocked loop.
+//! * Ocean stencil: the L1-sized fused y-tiled step vs. the two-array-pass
+//!   reference.
+//! * SymGS: the 4-row-blocked, scratch-reusing colored sweep vs. the
+//!   fresh-allocation path.
+//! * MD: the half-neighbor flat-cell-list forces against the full-neighbor
+//!   reference (tolerance, not bits — the traversal intentionally changes
+//!   the displacement arithmetic and summation order), plus bit-identical
+//!   results across thread counts.
+
+use cluster_eval as _;
+use kernels::gemm::{gemm_blocked, gemm_blocked_oracle};
+use kernels::matrix::DenseMatrix;
+use kernels::md::LjSystem;
+use kernels::stencil::OceanGrid;
+use kernels::stencil_matrix::StencilMatrix;
+use kernels::stream::{StreamArrays, StreamKernel};
+use proptest::prelude::*;
+
+/// Run `op` under a pool fixed at `threads` workers.
+fn at<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(op)
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+#[test]
+fn stream_unrolled_matches_reference_at_1_2_8_threads() {
+    for n in [1usize, 7, 8, 4096, 100_003] {
+        let reference = {
+            let mut s = StreamArrays::new(n);
+            for _ in 0..2 {
+                for k in StreamKernel::ALL {
+                    s.run_reference(k);
+                }
+            }
+            s
+        };
+        for threads in [1, 2, 8] {
+            let optimized = at(threads, || {
+                let mut s = StreamArrays::new(n);
+                for _ in 0..2 {
+                    for k in StreamKernel::ALL {
+                        s.run_parallel(k);
+                    }
+                }
+                s
+            });
+            assert!(
+                bits_eq(&reference.a, &optimized.a)
+                    && bits_eq(&reference.b, &optimized.b)
+                    && bits_eq(&reference.c, &optimized.c),
+                "STREAM n={n} diverged from reference at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn gemm_register_tiled_matches_oracle_at_1_2_8_threads() {
+    for (m, n, k) in [(64, 64, 64), (65, 63, 129), (7, 5, 3), (130, 70, 90)] {
+        let a = DenseMatrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0 - 0.5);
+        let b = DenseMatrix::from_fn(k, n, |i, j| ((i * 13 + j * 41) % 89) as f64 / 89.0 - 0.5);
+        let mut c_ref = DenseMatrix::zeros(m, n);
+        at(1, || gemm_blocked_oracle(&a, &b, &mut c_ref));
+        for threads in [1, 2, 8] {
+            let mut c = DenseMatrix::zeros(m, n);
+            at(threads, || gemm_blocked(&a, &b, &mut c));
+            assert!(
+                bits_eq(c_ref.data(), c.data()),
+                "GEMM {m}x{n}x{k} diverged from oracle at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn ocean_tiled_step_matches_reference_at_1_2_8_threads() {
+    // 40 compounding steps amplify a single-ulp divergence anywhere in
+    // the fused/tiled traversal, including the sign-of-zero top wall.
+    let steps = 40;
+    let reference = {
+        let mut g = OceanGrid::with_bump(192, 128);
+        for _ in 0..steps {
+            g.step_reference(1.0, 1000.0);
+        }
+        g
+    };
+    for threads in [1, 2, 8] {
+        let optimized = at(threads, || {
+            let mut g = OceanGrid::with_bump(192, 128);
+            for _ in 0..steps {
+                g.step(1.0, 1000.0);
+            }
+            g
+        });
+        assert!(
+            bits_eq(&reference.eta, &optimized.eta)
+                && bits_eq(&reference.u, &optimized.u)
+                && bits_eq(&reference.v, &optimized.v),
+            "ocean stencil diverged from reference at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn symgs_scratch_reusing_sweep_matches_fresh_path_at_1_2_8_threads() {
+    let st = StencilMatrix::hpcg(16, 16, 16);
+    let r: Vec<f64> = (0..st.n).map(|i| 1.0 + (i % 17) as f64 * 0.03).collect();
+    let reference = at(1, || {
+        let mut x = vec![0.0; st.n];
+        for _ in 0..3 {
+            st.symgs_colored_fresh(&r, &mut x);
+        }
+        x
+    });
+    for threads in [1, 2, 8] {
+        let optimized = at(threads, || {
+            let mut x = vec![0.0; st.n];
+            for _ in 0..3 {
+                st.symgs_colored(&r, &mut x);
+            }
+            x
+        });
+        assert!(
+            bits_eq(&reference, &optimized),
+            "colored SymGS diverged from the fresh-allocation path at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn md_forces_are_bit_identical_at_1_2_8_threads() {
+    // 1728 particles crosses the parallel cutoff, so pools of 2 and 8
+    // actually fan out; the fixed chunk grid must keep the bits equal.
+    let run = |threads: usize| {
+        at(threads, || {
+            let mut s = LjSystem::cubic_lattice(12, 0.8, 42);
+            let (pe, fl) = s.compute_forces();
+            for _ in 0..5 {
+                s.step(0.002);
+            }
+            (pe, fl, s)
+        })
+    };
+    let (pe1, fl1, s1) = run(1);
+    for threads in [2, 8] {
+        let (pe, fl, s) = run(threads);
+        assert_eq!(pe1.to_bits(), pe.to_bits(), "pe at {threads} threads");
+        assert_eq!(fl1, fl, "flops at {threads} threads");
+        for (a, b) in s1.force.iter().zip(&s.force) {
+            for d in 0..3 {
+                assert_eq!(a[d].to_bits(), b[d].to_bits(), "force at {threads} threads");
+            }
+        }
+        for (a, b) in s1.pos.iter().zip(&s.pos) {
+            for d in 0..3 {
+                assert_eq!(
+                    a[d].to_bits(),
+                    b[d].to_bits(),
+                    "trajectory at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn md_half_neighbor_agrees_with_full_neighbor_reference() {
+    // 12³ @ 0.8 has ncell = 8: every pair sits in distinct-or-adjacent
+    // cells with a unique image, so the two traversals evaluate the same
+    // set of interactions. Summation order differs, hence tolerance.
+    let mut s = LjSystem::cubic_lattice(12, 0.8, 7);
+    let mut r = s.clone();
+    let (pe_new, fl_new) = s.compute_forces();
+    let (pe_ref, fl_ref) = r.compute_forces_reference();
+    assert_eq!(fl_new, fl_ref, "flop books must agree at ncell >= 3");
+    assert!(
+        ((pe_new - pe_ref) / pe_ref.abs().max(1.0)).abs() < 1e-12,
+        "pe {pe_new} vs {pe_ref}"
+    );
+    for (i, (a, b)) in s.force.iter().zip(&r.force).enumerate() {
+        for d in 0..3 {
+            let scale = b[d].abs().max(1.0);
+            assert!(
+                ((a[d] - b[d]) / scale).abs() < 1e-9,
+                "force[{i}][{d}]: {} vs {}",
+                a[d],
+                b[d]
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn stream_any_length_matches_reference(n in 1usize..3000) {
+        let mut reference = StreamArrays::new(n);
+        let mut optimized = StreamArrays::new(n);
+        for k in StreamKernel::ALL {
+            reference.run_reference(k);
+            at(4, || optimized.run_parallel(k));
+        }
+        prop_assert!(bits_eq(&reference.a, &optimized.a));
+        prop_assert!(bits_eq(&reference.b, &optimized.b));
+        prop_assert!(bits_eq(&reference.c, &optimized.c));
+    }
+
+    #[test]
+    fn gemm_any_shape_matches_oracle(
+        m in 1usize..80,
+        n in 1usize..80,
+        k in 1usize..80,
+    ) {
+        let a = DenseMatrix::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 31) as f64 / 31.0 - 0.5);
+        let b = DenseMatrix::from_fn(k, n, |i, j| ((i * 5 + j * 11) % 29) as f64 / 29.0 - 0.5);
+        let mut c_ref = DenseMatrix::zeros(m, n);
+        let mut c_opt = DenseMatrix::zeros(m, n);
+        gemm_blocked_oracle(&a, &b, &mut c_ref);
+        at(4, || gemm_blocked(&a, &b, &mut c_opt));
+        prop_assert!(bits_eq(c_ref.data(), c_opt.data()));
+    }
+
+    #[test]
+    fn ocean_any_size_matches_reference(
+        nx in 8usize..80,
+        ny in 8usize..60,
+        steps in 1usize..12,
+    ) {
+        let mut reference = OceanGrid::with_bump(nx, ny);
+        let mut optimized = OceanGrid::with_bump(nx, ny);
+        for _ in 0..steps {
+            reference.step_reference(0.5, 500.0);
+            at(4, || optimized.step(0.5, 500.0));
+        }
+        prop_assert!(bits_eq(&reference.eta, &optimized.eta));
+        prop_assert!(bits_eq(&reference.u, &optimized.u));
+        prop_assert!(bits_eq(&reference.v, &optimized.v));
+    }
+
+    #[test]
+    fn symgs_any_grid_matches_fresh_path(
+        nx in 2usize..12,
+        ny in 2usize..12,
+        nz in 2usize..12,
+    ) {
+        let st = StencilMatrix::hpcg(nx, ny, nz);
+        let r: Vec<f64> = (0..st.n).map(|i| 1.0 + (i % 11) as f64 * 0.05).collect();
+        let mut x_ref = vec![0.0; st.n];
+        let mut x_opt = vec![0.0; st.n];
+        for _ in 0..2 {
+            st.symgs_colored_fresh(&r, &mut x_ref);
+            at(4, || st.symgs_colored(&r, &mut x_opt));
+        }
+        prop_assert!(bits_eq(&x_ref, &x_opt));
+    }
+}

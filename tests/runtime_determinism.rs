@@ -211,6 +211,73 @@ fn gemm_blocked_is_bit_identical_at_1_2_8_threads() {
 }
 
 #[test]
+fn ocean_stencil_step_is_bit_identical_at_1_2_8_threads() {
+    // The fused-tiled sequential path and the two-pass parallel path must
+    // produce the same bits, and the parallel path must not depend on the
+    // pool width. 30 compounding steps amplify any divergence.
+    use kernels::stencil::OceanGrid;
+    let run = |t: usize| {
+        at(t, || {
+            let mut g = OceanGrid::with_bump(128, 96);
+            for _ in 0..30 {
+                g.step(1.0, 1000.0);
+            }
+            g
+        })
+    };
+    let (g1, g2, g8) = (run(1), run(2), run(8));
+    for (a, b) in [(&g1, &g2), (&g1, &g8)] {
+        assert!(a
+            .eta
+            .iter()
+            .zip(&b.eta)
+            .all(|(p, q)| p.to_bits() == q.to_bits()));
+        assert!(a
+            .u
+            .iter()
+            .zip(&b.u)
+            .all(|(p, q)| p.to_bits() == q.to_bits()));
+        assert!(a
+            .v
+            .iter()
+            .zip(&b.v)
+            .all(|(p, q)| p.to_bits() == q.to_bits()));
+    }
+}
+
+#[test]
+fn md_forces_and_trajectory_are_bit_identical_at_1_2_8_threads() {
+    // The half-neighbor traversal accumulates into chunk-private buffers
+    // reduced in fixed chunk order; the chunk grid is a pure function of
+    // the system, so forces — and whole trajectories — must not move with
+    // the pool width. 1728 particles crosses the parallel cutoff.
+    use kernels::md::LjSystem;
+    let run = |t: usize| {
+        at(t, || {
+            let mut s = LjSystem::cubic_lattice(12, 0.8, 42);
+            s.compute_forces();
+            for _ in 0..5 {
+                s.step(0.002);
+            }
+            s
+        })
+    };
+    let (s1, s2, s8) = (run(1), run(2), run(8));
+    for (a, b) in [(&s1, &s2), (&s1, &s8)] {
+        for (fa, fb) in a.force.iter().zip(&b.force) {
+            for d in 0..3 {
+                assert_eq!(fa[d].to_bits(), fb[d].to_bits());
+            }
+        }
+        for (pa, pb) in a.pos.iter().zip(&b.pos) {
+            for d in 0..3 {
+                assert_eq!(pa[d].to_bits(), pb[d].to_bits());
+            }
+        }
+    }
+}
+
+#[test]
 fn full_cg_solve_is_bit_identical_at_1_and_8_threads() {
     // End to end: SpMV + dots + axpys + SymGS across dozens of iterations.
     // Any thread-count-dependent rounding anywhere would compound and

@@ -222,6 +222,19 @@ pub trait IntoParallelIterator {
     fn into_par_iter(self) -> Self::Iter;
 }
 
+/// Every parallel iterator trivially converts into itself, so adapters
+/// like [`ParallelIterator::zip`] accept producers (`par_chunks_mut(..)
+/// .zip(other.par_chunks(..))`) as well as plain collections — mirroring
+/// rayon's own blanket impl.
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
 /// `par_iter()` — shared-reference parallel iteration, resolved through
 /// `IntoParallelIterator for &T` (blanket impl, mirroring rayon).
 pub trait IntoParallelRefIterator<'data> {
