@@ -141,7 +141,7 @@ impl Alya {
     /// the rest reuse.
     pub fn simulate_cached(&self, cache: &Cache, cluster: Cluster, nodes: usize) -> AppRun {
         let key = CacheKey::new(cluster.label(), "alya", format!("{self:?}|nodes={nodes}"));
-        cache.get_or(key, || self.simulate(cluster, nodes))
+        cache.get_or_persistent(key, || self.simulate(cluster, nodes))
     }
 
     /// Node counts plotted for each machine (paper: CTE-Arm 12–78,

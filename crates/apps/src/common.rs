@@ -73,6 +73,26 @@ impl AppRun {
     }
 }
 
+impl serde::bin::Encode for AppRun {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.elapsed.encode(out);
+        self.phases.encode(out);
+    }
+}
+
+impl serde::bin::Decode for AppRun {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(AppRun {
+            elapsed: Time::decode(r)?,
+            phases: Vec::<(String, Time)>::decode(r)?,
+        })
+    }
+}
+
+impl simkit::store::StoreValue for AppRun {
+    const TYPE_NAME: &'static str = "apps::AppRun";
+}
+
 /// One point of a strong-scaling study.
 #[derive(Debug, Clone)]
 pub struct ScalingPoint {

@@ -136,7 +136,7 @@ impl Gromacs {
             "gromacs",
             format!("{self:?}|nodes={nodes}|rpn={ranks_per_node}|tpr={threads_per_rank}"),
         );
-        cache.get_or(key, || {
+        cache.get_or_persistent(key, || {
             self.simulate_config(cluster, nodes, ranks_per_node, threads_per_rank)
         })
     }

@@ -98,7 +98,7 @@ impl Nemo {
     /// 16-node point that Fig. 11 already sweeps.
     pub fn simulate_cached(&self, cache: &Cache, cluster: Cluster, nodes: usize) -> AppRun {
         let key = CacheKey::new(cluster.label(), "nemo", format!("{self:?}|nodes={nodes}"));
-        cache.get_or(key, || self.simulate(cluster, nodes))
+        cache.get_or_persistent(key, || self.simulate(cluster, nodes))
     }
 
     /// Node counts plotted (paper: CTE-Arm 8–192, MareNostrum 4 1–24).

@@ -134,7 +134,7 @@ impl OpenIfs {
             "openifs",
             format!("{self:?}|nodes={nodes}|rpn={ranks_per_node}"),
         );
-        cache.get_or(key, || self.simulate_ranks(cluster, nodes, ranks_per_node))
+        cache.get_or_persistent(key, || self.simulate_ranks(cluster, nodes, ranks_per_node))
     }
 
     /// Node-filling run through a [`Cache`].

@@ -114,7 +114,7 @@ impl Wrf {
             "wrf",
             format!("{self:?}|nodes={nodes}|io={io}"),
         );
-        cache.get_or(key, || self.simulate(cluster, nodes, io))
+        cache.get_or_persistent(key, || self.simulate(cluster, nodes, io))
     }
 
     /// Fig. 16 — scalability with IO enabled and disabled.

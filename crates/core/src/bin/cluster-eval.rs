@@ -19,6 +19,15 @@
 //! cluster-eval faults --campaign <name> [--jobs N] [--csv]
 //!                                   run an F-series fault-injection campaign
 //! cluster-eval faults --list        list registered campaigns
+//! cluster-eval serve [--jobs N] [--store DIR]
+//!                                   answer line-delimited JSON query batches on
+//!                                   stdin; with --store, results persist across
+//!                                   restarts in a content-addressed disk store
+//! cluster-eval serve --smoke FILE [--jobs N]
+//!                                   cold/warm self-test: replay FILE against a
+//!                                   fresh store, reopen, replay again; fail
+//!                                   unless warm is byte-identical, engine-free
+//!                                   and >10x faster
 //! ```
 
 use cluster_eval::engine::{filter_experiments, run_experiments, suggestions, Ctx, RunReport};
@@ -36,7 +45,9 @@ fn usage() -> ExitCode {
          cluster-eval report [dir]\n  cluster-eval cache-model [--machine cte-arm|mn4]\n  \
          cluster-eval table4\n  cluster-eval validate\n  \
          cluster-eval faults --campaign <name> [--jobs N] [--csv]\n  \
-         cluster-eval faults --list"
+         cluster-eval faults --list\n  \
+         cluster-eval serve [--jobs N] [--store DIR]\n  \
+         cluster-eval serve --smoke FILE [--jobs N]"
     );
     ExitCode::from(2)
 }
@@ -66,38 +77,41 @@ fn parse_engine_flags(args: &[String]) -> Result<(usize, Option<String>), String
 }
 
 fn print_run_summary(reports: &[RunReport]) {
-    let total_hits: u64 = reports.iter().map(|r| r.cache_hits).sum();
-    let total_misses: u64 = reports.iter().map(|r| r.cache_misses).sum();
+    let total_mem: u64 = reports.iter().map(|r| r.mem_hits).sum();
+    let total_disk: u64 = reports.iter().map(|r| r.disk_hits).sum();
+    let total_misses: u64 = reports.iter().map(|r| r.misses).sum();
     println!(
-        "{:<10} {:>10} {:>8} {:>8}  title",
-        "id", "wall [ms]", "hits", "misses"
+        "{:<10} {:>10} {:>8} {:>8} {:>8}  title",
+        "id", "wall [ms]", "mem", "disk", "misses"
     );
     for r in reports {
         println!(
-            "{:<10} {:>10.1} {:>8} {:>8}  {}",
+            "{:<10} {:>10.1} {:>8} {:>8} {:>8}  {}",
             r.id,
             r.wall.as_secs_f64() * 1e3,
-            r.cache_hits,
-            r.cache_misses,
+            r.mem_hits,
+            r.disk_hits,
+            r.misses,
             r.title
         );
     }
     println!(
-        "{} experiments, {total_hits} cache hits / {total_misses} misses",
+        "{} experiments, {total_mem} mem hits / {total_disk} disk hits / {total_misses} misses",
         reports.len()
     );
 }
 
 fn reports_csv(reports: &[RunReport]) -> String {
-    let mut out = String::from("id,section,wall_ms,cache_hits,cache_misses\n");
+    let mut out = String::from("id,section,wall_ms,mem_hits,disk_hits,misses\n");
     for r in reports {
         out.push_str(&format!(
-            "{},{},{:.3},{},{}\n",
+            "{},{},{:.3},{},{},{}\n",
             r.id,
             r.section,
             r.wall.as_secs_f64() * 1e3,
-            r.cache_hits,
-            r.cache_misses
+            r.mem_hits,
+            r.disk_hits,
+            r.misses
         ));
     }
     out
@@ -156,11 +170,14 @@ fn bench_all(csv: bool, json: bool) -> ExitCode {
         // Host-kernel mode: measure what the parallel runtime delivers on
         // *this* machine (1 thread vs full pool) and emit the
         // BENCH_host.json snapshot format, with the deterministic
-        // cache-model predictions spliced in as a "cache" section.
+        // cache-model predictions spliced in as a "cache" section and the
+        // serve cold/warm/dedupe replay as a "serve" section.
         let hb = cluster_eval::hostbench::run_host_bench();
         let cache = cluster_eval::cachemodel::cache_json_block(&arch::machines::cte_arm())
             .expect("the CTE-Arm model always has a hierarchy config");
-        print!("{}", hb.to_json_with(&cache));
+        let serve = cluster_eval::hostbench::run_serve_bench(2);
+        let extra = format!("{cache},\n{}", serve.to_json_section());
+        print!("{}", hb.to_json_with(&extra));
         return ExitCode::SUCCESS;
     }
     let ctx = Ctx::new();
@@ -381,6 +398,98 @@ fn run_faults(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut jobs = 1usize;
+    let mut store_dir: Option<String> = None;
+    let mut smoke_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => jobs = v,
+                _ => {
+                    eprintln!("--jobs needs an integer >= 1");
+                    return usage();
+                }
+            },
+            "--store" => match it.next() {
+                Some(d) => store_dir = Some(d.clone()),
+                None => {
+                    eprintln!("--store needs a directory");
+                    return usage();
+                }
+            },
+            "--smoke" => match it.next() {
+                Some(f) => smoke_file = Some(f.clone()),
+                None => {
+                    eprintln!("--smoke needs a batch file");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    if let Some(file) = smoke_file {
+        return match cluster_eval::serve::smoke(std::path::Path::new(&file), jobs, 10.0) {
+            Ok(r) => {
+                println!(
+                    "serve smoke PASS: cold {:.1} ms ({} misses) -> warm {:.1} ms \
+                     ({} disk / {} mem hits, 0 misses), {:.0}x",
+                    r.cold_ms,
+                    r.cold.misses,
+                    r.warm_ms,
+                    r.warm.disk_hits,
+                    r.warm.mem_hits,
+                    r.cold_ms / r.warm_ms.max(1e-9)
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve smoke FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let ctx = match &store_dir {
+        Some(dir) => match cluster_eval::serve::open_store(std::path::Path::new(dir)) {
+            Ok(store) => {
+                eprintln!(
+                    "serve: store {} ({} records, model {:016x})",
+                    dir,
+                    store.records(),
+                    store.model_hash()
+                );
+                Ctx::with_store(store)
+            }
+            Err(e) => {
+                eprintln!("cannot open store '{dir}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Ctx::new(),
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match cluster_eval::serve::serve(&ctx, stdin.lock(), stdout.lock(), std::io::stderr(), jobs) {
+        Ok(s) => {
+            eprintln!(
+                "serve: {} requests, {} queries ({} mem / {} disk / {} miss)",
+                s.requests, s.queries, s.counters.mem_hits, s.counters.disk_hits, s.counters.misses
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -467,6 +576,7 @@ fn main() -> ExitCode {
             }
         }
         Some("faults") => run_faults(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
         Some("table4") => {
             let a = run("table4").expect("table4 is registered");
             print!("{}", a.to_text());

@@ -14,8 +14,9 @@
 
 use crate::experiments::{Artifact, Experiment};
 use simkit::cache::Cache;
+use simkit::store::Store;
 use std::collections::HashSet;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Shared state threaded through every experiment of one engine run.
@@ -26,9 +27,18 @@ pub struct Ctx {
 }
 
 impl Ctx {
-    /// A fresh context with an empty cache.
+    /// A fresh context with an empty, memory-only cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A context whose cache is backed by a persistent [`Store`]:
+    /// `get_or_persistent` lookups missing in memory fall through to disk
+    /// before computing, and computed results are written back.
+    pub fn with_store(store: Arc<Store>) -> Self {
+        Self {
+            cache: Cache::with_store(store),
+        }
     }
 }
 
@@ -43,10 +53,12 @@ pub struct RunReport {
     pub section: &'static str,
     /// Wall-clock time of this experiment alone.
     pub wall: Duration,
-    /// Cache hits charged to this experiment.
-    pub cache_hits: u64,
+    /// In-memory cache hits charged to this experiment.
+    pub mem_hits: u64,
+    /// Persistent-store hits (results reloaded from disk) charged to it.
+    pub disk_hits: u64,
     /// Cache misses (sub-results it computed first) charged to it.
-    pub cache_misses: u64,
+    pub misses: u64,
     /// The regenerated artifact.
     pub artifact: Artifact,
 }
@@ -171,14 +183,15 @@ pub fn run_experiments(experiments: Vec<Experiment>, jobs: usize, ctx: &Ctx) -> 
                 let started = Instant::now();
                 let artifact = (exp.run)(ctx);
                 let wall = started.elapsed();
-                let (cache_hits, cache_misses) = Cache::thread_counters();
+                let counters = Cache::thread_counters();
                 *slots[idx].lock().expect("slot lock") = Some(RunReport {
                     id: exp.id,
                     title: exp.title,
                     section: exp.section,
                     wall,
-                    cache_hits,
-                    cache_misses,
+                    mem_hits: counters.mem_hits,
+                    disk_hits: counters.disk_hits,
+                    misses: counters.misses,
                     artifact,
                 });
                 state
@@ -284,9 +297,11 @@ mod tests {
         assert_eq!(reports[0].id, "fig8");
         assert_eq!(reports[1].id, "fig9");
         // fig8 computed the Alya sweep; fig9 reused every point.
-        assert!(reports[0].cache_misses > 0);
-        assert_eq!(reports[1].cache_misses, 0);
-        assert!(reports[1].cache_hits > 0);
+        assert!(reports[0].misses > 0);
+        assert_eq!(reports[1].misses, 0);
+        assert!(reports[1].mem_hits > 0);
+        // Memory-only context: the disk tier never fires.
+        assert_eq!(reports[1].disk_hits, 0);
     }
 
     #[test]
@@ -296,7 +311,7 @@ mod tests {
         let ctx = Ctx::new();
         let reports = run_experiments(filter_experiments(all_experiments(), Some("fig9")), 2, &ctx);
         assert_eq!(reports.len(), 1);
-        assert!(reports[0].cache_misses > 0);
-        assert_eq!(reports[0].cache_hits, 0);
+        assert!(reports[0].misses > 0);
+        assert_eq!(reports[0].mem_hits, 0);
     }
 }

@@ -192,7 +192,7 @@ fn healthy_network() -> Network<TofuD> {
 }
 
 fn baseline_summary(ctx: &Ctx) -> PairMapSummary {
-    ctx.cache.get_or(
+    ctx.cache.get_or_persistent(
         CacheKey::new("CTE-Arm", "faults-baseline-map", "msg=256B"),
         || {
             let net = healthy_network();
@@ -203,14 +203,14 @@ fn baseline_summary(ctx: &Ctx) -> PairMapSummary {
 }
 
 fn baseline_drains(ctx: &Ctx) -> Vec<f64> {
-    ctx.cache.get_or(
+    ctx.cache.get_or_persistent(
         CacheKey::new("CTE-Arm", "faults-baseline-drain", "msg=64KiB"),
         || alltoall_drains(&healthy_network(), Bytes::new(DRAIN_BYTES)),
     )
 }
 
 fn baseline_sched_makespan(ctx: &Ctx, seed: u64) -> f64 {
-    ctx.cache.get_or(
+    ctx.cache.get_or_persistent(
         CacheKey::new("CTE-Arm", "faults-sched-baseline", format!("seed={seed}")),
         || {
             let alloc = Allocator::new(TofuD::cte_arm(), AllocationPolicy::BestFitContiguous, seed);

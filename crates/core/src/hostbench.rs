@@ -21,6 +21,8 @@
 //! do. (The interconnect rows keep the simpler fixed-rep `time_best` —
 //! their loop bodies already aggregate thousands of route resolutions.)
 
+use crate::engine::Ctx;
+use crate::serve::{open_store, respond, run_batch};
 use arch::cost::{
     spmv_csr_bytes, spmv_csr_moved_bytes, spmv_stencil_bytes, spmv_stencil_moved_bytes,
 };
@@ -265,6 +267,138 @@ pub struct HostBench {
     pub network: NetworkBench,
     /// Structure-aware HPCG engine measurements.
     pub hpcg: HpcgBench,
+}
+
+/// Serve-path measurements over the committed canned batch
+/// (`tests/data/serve_batch_50.jsonl`, compiled into the binary): the cold
+/// replay that pays every engine miss against a fresh store, the warm
+/// replay served from the reopened disk store, and the engine cost of two
+/// identical in-flight queries under the single-flight slot lock.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Request lines in the canned batch.
+    pub requests: usize,
+    /// Individual queries across those requests.
+    pub queries: u64,
+    /// `--jobs` level both replays ran at.
+    pub jobs: usize,
+    /// Cold replay wall time (fresh store, every unique query a miss), ms.
+    pub cold_batch_ms: f64,
+    /// Warm replay wall time (reopened store, engine never runs), ms.
+    pub warm_batch_ms: f64,
+    /// Engine misses the cold replay paid (the unique-query count).
+    pub cold_misses: u64,
+    /// Disk hits that served the warm replay.
+    pub warm_disk_hits: u64,
+    /// Memory hits (in-session duplicates) during the warm replay.
+    pub warm_mem_hits: u64,
+    /// Engine misses of the warm replay — zero when the store works.
+    pub warm_misses: u64,
+    /// Engine misses charged for two identical queries evaluated
+    /// concurrently in one request: the per-key slot lock is a
+    /// single-flight map, so this is 1, not 2.
+    pub inflight_dedupe_misses: u64,
+}
+
+impl ServeBench {
+    /// `cold_batch_ms / warm_batch_ms` — what the persistent tier buys.
+    pub fn warm_speedup(&self) -> f64 {
+        if self.warm_batch_ms > 0.0 {
+            self.cold_batch_ms / self.warm_batch_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Pre-rendered top-level `"serve"` section for
+    /// [`HostBench::to_json_with`].
+    pub fn to_json_section(&self) -> String {
+        let mut out = String::from("  \"serve\": {\n");
+        out.push_str("    \"batch\": \"tests/data/serve_batch_50.jsonl\",\n");
+        out.push_str(&format!("    \"requests\": {},\n", self.requests));
+        out.push_str(&format!("    \"queries\": {},\n", self.queries));
+        out.push_str(&format!("    \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "    \"cold_batch_ms\": {:.2},\n",
+            self.cold_batch_ms
+        ));
+        out.push_str(&format!(
+            "    \"warm_batch_ms\": {:.2},\n",
+            self.warm_batch_ms
+        ));
+        out.push_str(&format!(
+            "    \"warm_speedup\": {:.1},\n",
+            self.warm_speedup()
+        ));
+        out.push_str(&format!("    \"cold_misses\": {},\n", self.cold_misses));
+        out.push_str(&format!(
+            "    \"warm_disk_hits\": {},\n",
+            self.warm_disk_hits
+        ));
+        out.push_str(&format!("    \"warm_mem_hits\": {},\n", self.warm_mem_hits));
+        out.push_str(&format!("    \"warm_misses\": {},\n", self.warm_misses));
+        out.push_str(&format!(
+            "    \"inflight_dedupe_misses\": {}\n",
+            self.inflight_dedupe_misses
+        ));
+        out.push_str("  }");
+        out
+    }
+}
+
+/// The canned what-if batch the serve tests, CI smoke and this bench all
+/// replay: 10 requests x 5 queries, 45 unique + 5 repeats, all-success.
+const SERVE_BATCH: &str = include_str!("../../../tests/data/serve_batch_50.jsonl");
+
+/// Measure the serve front end over the canned batch: cold against a
+/// fresh store in a scratch directory, warm against the reopened store,
+/// plus the in-flight dedupe cost. The scratch store is removed on exit.
+pub fn run_serve_bench(jobs: usize) -> ServeBench {
+    let lines: Vec<String> = SERVE_BATCH
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(String::from)
+        .collect();
+    let dir = std::env::temp_dir().join(format!("cluster-eval-servebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_ctx = Ctx::with_store(open_store(&dir).expect("scratch store open"));
+    let t0 = Instant::now();
+    let cold_out = run_batch(&cold_ctx, &lines, jobs);
+    let cold_batch_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold = cold_ctx.cache.counters();
+    drop(cold_ctx); // server restart: flushes the index
+
+    let warm_ctx = Ctx::with_store(open_store(&dir).expect("scratch store reopen"));
+    let t1 = Instant::now();
+    let warm_out = run_batch(&warm_ctx, &lines, jobs);
+    let warm_batch_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let warm = warm_ctx.cache.counters();
+    drop(warm_ctx);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(warm_out, cold_out, "warm serve replay diverged from cold");
+
+    // Dedupe cost: two identical queries in one request, two workers. The
+    // slot lock makes one compute and the other wait for the fresh value.
+    let dup = r#"{"id": 1, "queries": [
+        {"app": "hpl", "machine": "cte-arm", "nodes": 16},
+        {"app": "hpl", "machine": "cte-arm", "nodes": 16}]}"#
+        .replace('\n', " ");
+    let dedupe_ctx = Ctx::new();
+    let _ = respond(&dedupe_ctx, &dup, 2);
+
+    ServeBench {
+        requests: lines.len(),
+        queries: cold.total(),
+        jobs,
+        cold_batch_ms,
+        warm_batch_ms,
+        cold_misses: cold.misses,
+        warm_disk_hits: warm.disk_hits,
+        warm_mem_hits: warm.mem_hits,
+        warm_misses: warm.misses,
+        inflight_dedupe_misses: dedupe_ctx.cache.counters().misses,
+    }
 }
 
 fn time_best<F: FnMut()>(mut f: F) -> f64 {
@@ -1016,6 +1150,81 @@ mod tests {
         // The faster format must never report less moved traffic per
         // second than it reports arithmetic — sanity tie between columns.
         assert!(hp.spmv_stencil_gbs_moved > hp.spmv_stencil_gbs_dram_floor);
+    }
+
+    fn sample_serve() -> ServeBench {
+        ServeBench {
+            requests: 10,
+            queries: 50,
+            jobs: 2,
+            cold_batch_ms: 800.0,
+            warm_batch_ms: 2.0,
+            cold_misses: 45,
+            warm_disk_hits: 45,
+            warm_mem_hits: 5,
+            warm_misses: 0,
+            inflight_dedupe_misses: 1,
+        }
+    }
+
+    #[test]
+    fn serve_section_carries_every_key() {
+        let s = sample_serve().to_json_section();
+        for key in [
+            "\"serve\": {",
+            "\"batch\": \"tests/data/serve_batch_50.jsonl\"",
+            "\"requests\": 10",
+            "\"queries\": 50",
+            "\"jobs\": 2",
+            "\"cold_batch_ms\": 800.00",
+            "\"warm_batch_ms\": 2.00",
+            "\"warm_speedup\": 400.0",
+            "\"cold_misses\": 45",
+            "\"warm_disk_hits\": 45",
+            "\"warm_mem_hits\": 5",
+            "\"warm_misses\": 0",
+            "\"inflight_dedupe_misses\": 1",
+        ] {
+            assert!(s.contains(key), "serve section missing {key}:\n{s}");
+        }
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn serve_section_splices_into_the_snapshot() {
+        let hb = HostBench {
+            detected_cores: 4,
+            pool_threads: 4,
+            rayon_threads_env: None,
+            kernels: vec![],
+            network: sample_network(),
+            hpcg: sample_hpcg(),
+        };
+        let j = hb.to_json_with(&sample_serve().to_json_section());
+        assert!(j.contains("\"serve\": {"));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn warm_speedup_handles_zero_denominator() {
+        let mut s = sample_serve();
+        assert_eq!(s.warm_speedup(), 400.0);
+        s.warm_batch_ms = 0.0;
+        assert_eq!(s.warm_speedup(), 0.0);
+    }
+
+    #[test]
+    fn serve_bench_measures_the_canned_batch() {
+        // The real thing, at jobs=2: the warm replay must be engine-free
+        // and the duplicate pair must cost one miss.
+        let sb = run_serve_bench(2);
+        assert_eq!((sb.requests, sb.queries), (10, 50));
+        assert_eq!(sb.cold_misses, 45, "unique-query count drifted");
+        assert_eq!(sb.warm_misses, 0, "warm replay reached the engine");
+        assert!(sb.warm_disk_hits > 0, "warm replay never touched the store");
+        assert_eq!(sb.inflight_dedupe_misses, 1, "single-flight dedupe broke");
+        assert!(sb.cold_batch_ms > 0.0 && sb.warm_batch_ms > 0.0);
     }
 
     #[test]

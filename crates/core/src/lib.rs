@@ -28,7 +28,9 @@ pub mod experiments;
 pub mod extensions;
 pub mod faults;
 pub mod hostbench;
+pub mod json;
 pub mod report;
+pub mod serve;
 pub mod speedup;
 pub mod validation;
 
@@ -36,5 +38,6 @@ pub use engine::{run_experiments, Ctx, RunReport};
 pub use experiments::{all_experiments, run, Artifact, Experiment};
 pub use extensions::{extension_experiments, run_extension};
 pub use faults::{campaign, campaigns, run_campaign, Campaign, CampaignReport};
+pub use serve::{model_code_hash, Query, ServeSummary};
 pub use speedup::speedup_table;
 pub use validation::validation_report;

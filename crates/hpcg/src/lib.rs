@@ -218,7 +218,29 @@ pub fn simulate_cached(
         "hpcg",
         format!("nodes={nodes}|cfg={cfg:?}"),
     );
-    cache.get_or(key, || simulate(machine, nodes, cfg))
+    cache.get_or_persistent(key, || simulate(machine, nodes, cfg))
+}
+
+impl serde::bin::Encode for HpcgResult {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.gflops.encode(out);
+        self.fraction_of_peak.encode(out);
+        self.time.encode(out);
+    }
+}
+
+impl serde::bin::Decode for HpcgResult {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(HpcgResult {
+            gflops: f64::decode(r)?,
+            fraction_of_peak: f64::decode(r)?,
+            time: Time::decode(r)?,
+        })
+    }
+}
+
+impl simkit::store::StoreValue for HpcgResult {
+    const TYPE_NAME: &'static str = "hpcg::HpcgResult";
 }
 
 /// Run the real preconditioned CG on a small grid and return

@@ -218,7 +218,31 @@ pub fn simulate_cached(
         "hpl",
         format!("nodes={nodes}|cfg={cfg:?}|link={link:?}"),
     );
-    cache.get_or(key, || simulate(machine, link, nodes, cfg))
+    cache.get_or_persistent(key, || simulate(machine, link, nodes, cfg))
+}
+
+impl serde::bin::Encode for HplResult {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.time.encode(out);
+        self.gflops.encode(out);
+        self.efficiency.encode(out);
+        self.update_fraction.encode(out);
+    }
+}
+
+impl serde::bin::Decode for HplResult {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(HplResult {
+            time: Time::decode(r)?,
+            gflops: f64::decode(r)?,
+            efficiency: f64::decode(r)?,
+            update_fraction: f64::decode(r)?,
+        })
+    }
+}
+
+impl simkit::store::StoreValue for HplResult {
+    const TYPE_NAME: &'static str = "hpl::HplResult";
 }
 
 /// Run the real LU kernel on a small random system and apply HPL's

@@ -39,7 +39,7 @@ pub fn figure4(seed: u64) -> Vec<Vec<f64>> {
 /// microbenchmark sweep, and extension experiments revisit it.
 pub fn figure4_cached(cache: &Cache, seed: u64) -> Vec<Vec<f64>> {
     let key = CacheKey::new("CTE-Arm", "osu-map", format!("seed={seed}|msg=256B"));
-    cache.get_or(key, || figure4(seed))
+    cache.get_or_persistent(key, || figure4(seed))
 }
 
 /// Summary statistics extracted from a Fig.-4 map.
@@ -143,7 +143,51 @@ pub fn figure5_cached(
         "osu-dist",
         format!("seed={seed}|pairs={pairs_per_size}"),
     );
-    cache.get_or(key, || figure5(seed, pairs_per_size))
+    cache.get_or_persistent(key, || figure5(seed, pairs_per_size))
+}
+
+impl serde::bin::Encode for PairMapSummary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mean.encode(out);
+        self.rx_means.encode(out);
+        self.tx_means.encode(out);
+    }
+}
+
+impl serde::bin::Decode for PairMapSummary {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(PairMapSummary {
+            mean: f64::decode(r)?,
+            rx_means: Vec::<f64>::decode(r)?,
+            tx_means: Vec::<f64>::decode(r)?,
+        })
+    }
+}
+
+impl simkit::store::StoreValue for PairMapSummary {
+    const TYPE_NAME: &'static str = "microbench::PairMapSummary";
+}
+
+impl serde::bin::Encode for BandwidthDistribution {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.size as u64).encode(out);
+        self.histogram.encode(out);
+        self.cv.encode(out);
+    }
+}
+
+impl serde::bin::Decode for BandwidthDistribution {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(BandwidthDistribution {
+            size: u64::decode(r)? as usize,
+            histogram: Histogram::decode(r)?,
+            cv: f64::decode(r)?,
+        })
+    }
+}
+
+impl simkit::store::StoreValue for BandwidthDistribution {
+    const TYPE_NAME: &'static str = "microbench::BandwidthDistribution";
 }
 
 #[cfg(test)]

@@ -12,8 +12,11 @@
 //! * [`stats`] — online statistics (Welford), histograms, percentiles.
 //! * [`series`] — labelled data series and text/CSV table rendering used to
 //!   regenerate the paper's figures and tables.
-//! * [`cache`] — concurrency-safe memoization of expensive simulation
-//!   sub-results, keyed by `(machine, workload, params)`.
+//! * [`cache`] — concurrency-safe, two-tier memoization of expensive
+//!   simulation sub-results, keyed by `(machine, workload, params)`.
+//! * [`store`] — the disk-backed content-addressed tier under the cache:
+//!   an append-only segment + index pair, versioned by a model-code hash,
+//!   with checksum-verified torn-tail recovery.
 //!
 //! Everything in this crate is pure and deterministic: simulating the same
 //! experiment twice yields bit-identical results.
@@ -25,13 +28,15 @@ pub mod event;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod store;
 pub mod time;
 pub mod units;
 
-pub use cache::{Cache, CacheKey};
+pub use cache::{Cache, CacheKey, TierCounters};
 pub use event::{EventQueue, Scheduler};
 pub use rng::Pcg32;
 pub use series::{Figure, Series, Table};
 pub use stats::{Histogram, OnlineStats};
+pub use store::{Store, StoreValue};
 pub use time::VirtualClock;
 pub use units::{Bandwidth, Bytes, Flops, Time};

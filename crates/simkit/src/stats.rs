@@ -129,6 +129,28 @@ pub struct Histogram {
     overflow: u64,
 }
 
+impl serde::bin::Encode for Histogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lo.encode(out);
+        self.hi.encode(out);
+        self.bins.encode(out);
+        self.underflow.encode(out);
+        self.overflow.encode(out);
+    }
+}
+
+impl serde::bin::Decode for Histogram {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(Histogram {
+            lo: f64::decode(r)?,
+            hi: f64::decode(r)?,
+            bins: Vec::<u64>::decode(r)?,
+            underflow: u64::decode(r)?,
+            overflow: u64::decode(r)?,
+        })
+    }
+}
+
 impl Histogram {
     /// A histogram over `[lo, hi)` with `nbins` equal-width bins.
     ///

@@ -35,8 +35,8 @@ fn engine_output_is_independent_of_jobs() {
             s.id
         );
         assert_eq!(
-            (s.cache_hits, s.cache_misses),
-            (p.cache_hits, p.cache_misses),
+            (s.mem_hits, s.disk_hits, s.misses),
+            (p.mem_hits, p.disk_hits, p.misses),
             "{}: cache attribution must not depend on worker count",
             s.id
         );
@@ -50,12 +50,12 @@ fn sharing_experiments_hit_the_cache() {
     let reports = run_experiments(all_experiments(), 4, &Ctx::new());
     for id in ["fig9", "fig10", "table4"] {
         let r = reports.iter().find(|r| r.id == id).expect("registered");
-        assert!(r.cache_hits >= 1, "{id}: expected cache hits, got 0");
+        assert!(r.mem_hits >= 1, "{id}: expected cache hits, got 0");
     }
     // fig9 and fig10 re-plot fig8's sweep exactly: all hits, no misses.
     for id in ["fig9", "fig10"] {
         let r = reports.iter().find(|r| r.id == id).unwrap();
-        assert_eq!(r.cache_misses, 0, "{id} recomputed a shared sub-result");
+        assert_eq!(r.misses, 0, "{id} recomputed a shared sub-result");
     }
 }
 

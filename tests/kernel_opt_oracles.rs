@@ -27,14 +27,8 @@ use kernels::stencil_matrix::StencilMatrix;
 use kernels::stream::{StreamArrays, StreamKernel};
 use proptest::prelude::*;
 
-/// Run `op` under a pool fixed at `threads` workers.
-fn at<R>(threads: usize, op: impl FnOnce() -> R) -> R {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("pool")
-        .install(op)
-}
+mod common;
+use common::at;
 
 fn bits_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(p, q)| p.to_bits() == q.to_bits())

@@ -21,14 +21,8 @@ use kernels::stream::{StreamArrays, StreamKernel};
 use proptest::prelude::*;
 use rayon::prelude::*;
 
-/// Run `op` under a pool fixed at `threads` workers.
-fn at<R>(threads: usize, op: impl FnOnce() -> R) -> R {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("pool")
-        .install(op)
-}
+mod common;
+use common::at;
 
 /// Adversarial vector: magnitudes spanning ten orders, so any change in
 /// summation association changes the result's bits.

@@ -1,10 +1,17 @@
 //! Offline stand-in for `serde`.
 //!
 //! The workspace derives `Serialize`/`Deserialize` on its model structs to
-//! document that they are plain data, but never serializes them; the build
-//! environment has no crates.io access. This crate supplies just enough
-//! surface for those derives to compile: two empty marker traits plus the
-//! no-op derive macros from the sibling `serde_derive` stub.
+//! document that they are plain data; the build environment has no
+//! crates.io access. This crate supplies two layers:
+//!
+//! * the empty marker traits below (plus the no-op derive macros from the
+//!   sibling `serde_derive` stub), just enough for those derives to
+//!   compile, and
+//! * [`bin`], a real little-endian binary codec with an exact (bitwise)
+//!   round-trip guarantee, which `simkit::store` uses to persist cached
+//!   simulation results on disk.
+
+pub mod bin;
 
 /// Marker trait matching `serde::Serialize`'s name.
 pub trait Serialize {}
