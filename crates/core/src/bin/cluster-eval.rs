@@ -47,7 +47,11 @@ fn usage() -> ExitCode {
          cluster-eval faults --campaign <name> [--jobs N] [--csv]\n  \
          cluster-eval faults --list\n  \
          cluster-eval serve [--jobs N] [--store DIR]\n  \
-         cluster-eval serve --smoke FILE [--jobs N]"
+         cluster-eval serve --smoke FILE [--jobs N]\n  \
+         cluster-eval sched-replay [--machine fugaku|cte-arm] [--days N] \
+[--jobs-per-day N]\n                            \
+[--policy best-fit|first-fit|random] [--seed N] [--strict-fcfs] [--csv]\n  \
+         cluster-eval sched-replay --smoke"
     );
     ExitCode::from(2)
 }
@@ -176,7 +180,12 @@ fn bench_all(csv: bool, json: bool) -> ExitCode {
         let cache = cluster_eval::cachemodel::cache_json_block(&arch::machines::cte_arm())
             .expect("the CTE-Arm model always has a hierarchy config");
         let serve = cluster_eval::hostbench::run_serve_bench(2);
-        let extra = format!("{cache},\n{}", serve.to_json_section());
+        let sched = cluster_eval::hostbench::run_sched_bench();
+        let extra = format!(
+            "{cache},\n{},\n{}",
+            serve.to_json_section(),
+            sched.to_json_section()
+        );
         print!("{}", hb.to_json_with(&extra));
         return ExitCode::SUCCESS;
     }
@@ -490,6 +499,82 @@ fn run_serve(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_sched_replay(args: &[String]) -> ExitCode {
+    use cluster_eval::schedreplay;
+    let mut config = schedreplay::ReplayConfig::fugaku_month();
+    let mut csv = false;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => match it.next() {
+                Some(m) if schedreplay::machine_topo(m).is_some() => config.machine = m.clone(),
+                other => {
+                    eprintln!(
+                        "unknown --machine '{}' — known: fugaku, cte-arm",
+                        other.map(String::as_str).unwrap_or("")
+                    );
+                    return usage();
+                }
+            },
+            "--days" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.days = v,
+                _ => {
+                    eprintln!("--days needs an integer >= 1");
+                    return usage();
+                }
+            },
+            "--jobs-per-day" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.jobs_per_day = v,
+                _ => {
+                    eprintln!("--jobs-per-day needs an integer >= 1");
+                    return usage();
+                }
+            },
+            "--policy" => match it.next().and_then(|p| schedreplay::parse_policy(p)) {
+                Some(p) => config.policy = p,
+                None => {
+                    eprintln!("unknown --policy — known: best-fit, first-fit, random");
+                    return usage();
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.seed = v,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                }
+            },
+            "--strict-fcfs" => config.backfill = false,
+            "--csv" => csv = true,
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return usage();
+            }
+        }
+    }
+    if smoke {
+        return match schedreplay::smoke() {
+            Ok(msg) => {
+                println!("sched smoke PASS: {msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sched smoke FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let out = schedreplay::run_replay(&config);
+    if csv {
+        print!("{}", out.to_csv());
+    } else {
+        print!("{}", out.to_text());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -577,6 +662,7 @@ fn main() -> ExitCode {
         }
         Some("faults") => run_faults(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
+        Some("sched-replay") => run_sched_replay(&args[1..]),
         Some("table4") => {
             let a = run("table4").expect("table4 is registered");
             print!("{}", a.to_text());

@@ -401,6 +401,88 @@ pub fn run_serve_bench(jobs: usize) -> ServeBench {
     }
 }
 
+/// Scheduler-replay throughput at full-Fugaku scale: days of synthetic
+/// production dispatched through the run-indexed allocator, single thread
+/// (the replay is inherently sequential; its speed comes from the data
+/// structures, not the pool).
+#[derive(Debug, Clone)]
+pub struct SchedBench {
+    /// Machine replayed.
+    pub machine: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Days of submissions.
+    pub days: usize,
+    /// Jobs per day.
+    pub jobs_per_day: usize,
+    /// Jobs replayed.
+    pub jobs: usize,
+    /// Generate + simulate wall time, seconds.
+    pub wall_s: f64,
+    /// Jobs simulated per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Simulated makespan, seconds.
+    pub makespan_s: f64,
+    /// Node-time utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Mean queue wait, simulated seconds.
+    pub mean_wait_s: f64,
+    /// Mean allocation compactness, pairwise hops.
+    pub mean_compactness: f64,
+}
+
+impl SchedBench {
+    /// Pre-rendered top-level `"sched"` section for
+    /// [`HostBench::to_json_with`].
+    pub fn to_json_section(&self) -> String {
+        let mut out = String::from("  \"sched\": {\n");
+        out.push_str(&format!("    \"machine\": \"{}\",\n", self.machine));
+        out.push_str(&format!("    \"nodes\": {},\n", self.nodes));
+        out.push_str(&format!("    \"days\": {},\n", self.days));
+        out.push_str(&format!("    \"jobs_per_day\": {},\n", self.jobs_per_day));
+        out.push_str(&format!("    \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("    \"wall_s\": {:.3},\n", self.wall_s));
+        out.push_str(&format!(
+            "    \"jobs_per_sec\": {:.0},\n",
+            self.jobs_per_sec
+        ));
+        out.push_str(&format!("    \"makespan_s\": {:.0},\n", self.makespan_s));
+        out.push_str(&format!("    \"utilization\": {:.4},\n", self.utilization));
+        out.push_str(&format!("    \"mean_wait_s\": {:.1},\n", self.mean_wait_s));
+        out.push_str(&format!(
+            "    \"mean_compactness\": {:.3}\n",
+            self.mean_compactness
+        ));
+        out.push_str("  }");
+        out
+    }
+}
+
+/// Replay three days of full-Fugaku production (158,976 nodes, 40,000
+/// jobs/day) under the best-fit policy and report throughput plus the
+/// headline scheduler stats. Deterministic apart from the wall-time
+/// fields.
+pub fn run_sched_bench() -> SchedBench {
+    let config = crate::schedreplay::ReplayConfig {
+        days: 3,
+        ..crate::schedreplay::ReplayConfig::fugaku_month()
+    };
+    let out = crate::schedreplay::run_replay(&config);
+    SchedBench {
+        machine: config.machine,
+        nodes: out.nodes,
+        days: config.days,
+        jobs_per_day: config.jobs_per_day,
+        jobs: out.jobs,
+        wall_s: out.wall_s,
+        jobs_per_sec: out.jobs_per_sec,
+        makespan_s: out.stats.makespan.value(),
+        utilization: out.stats.utilization,
+        mean_wait_s: out.stats.mean_wait.value(),
+        mean_compactness: out.stats.mean_compactness,
+    }
+}
+
 fn time_best<F: FnMut()>(mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..TRIALS {
@@ -1225,6 +1307,67 @@ mod tests {
         assert!(sb.warm_disk_hits > 0, "warm replay never touched the store");
         assert_eq!(sb.inflight_dedupe_misses, 1, "single-flight dedupe broke");
         assert!(sb.cold_batch_ms > 0.0 && sb.warm_batch_ms > 0.0);
+    }
+
+    fn sample_sched() -> SchedBench {
+        SchedBench {
+            machine: "fugaku".into(),
+            nodes: 158_976,
+            days: 3,
+            jobs_per_day: 40_000,
+            jobs: 120_000,
+            wall_s: 2.5,
+            jobs_per_sec: 48_000.0,
+            makespan_s: 262_000.0,
+            utilization: 0.71,
+            mean_wait_s: 310.0,
+            mean_compactness: 5.125,
+        }
+    }
+
+    #[test]
+    fn sched_section_carries_every_key() {
+        let s = sample_sched().to_json_section();
+        for key in [
+            "\"sched\": {",
+            "\"machine\": \"fugaku\"",
+            "\"nodes\": 158976",
+            "\"days\": 3",
+            "\"jobs_per_day\": 40000",
+            "\"jobs\": 120000",
+            "\"wall_s\": 2.500",
+            "\"jobs_per_sec\": 48000",
+            "\"makespan_s\": 262000",
+            "\"utilization\": 0.7100",
+            "\"mean_wait_s\": 310.0",
+            "\"mean_compactness\": 5.125",
+        ] {
+            assert!(s.contains(key), "sched section missing {key}:\n{s}");
+        }
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn sched_section_splices_next_to_serve() {
+        // bench-all splices cache, serve and sched as siblings; the
+        // combined extra must keep the JSON balanced.
+        let hb = HostBench {
+            detected_cores: 4,
+            pool_threads: 4,
+            rayon_threads_env: None,
+            kernels: vec![],
+            network: sample_network(),
+            hpcg: sample_hpcg(),
+        };
+        let extra = format!(
+            "{},\n{}",
+            sample_serve().to_json_section(),
+            sample_sched().to_json_section()
+        );
+        let j = hb.to_json_with(&extra);
+        assert!(j.contains("\"serve\": {"));
+        assert!(j.contains("\"sched\": {"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

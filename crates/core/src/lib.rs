@@ -30,6 +30,7 @@ pub mod faults;
 pub mod hostbench;
 pub mod json;
 pub mod report;
+pub mod schedreplay;
 pub mod serve;
 pub mod speedup;
 pub mod validation;

@@ -274,6 +274,129 @@ impl Topology for FoldedTable {
     }
 }
 
+/// Closed-form mean pairwise hop distance of a node set on a TofuD torus —
+/// the per-dimension companion to the offset-class fold above.
+///
+/// Dimension-ordered routing makes `hops(a, b) = Σ_d dist_d(a_d, b_d)`, so
+/// the total over all unordered pairs separates per dimension:
+///
+/// ```text
+/// Σ_{i<j} hops(nᵢ, nⱼ) = Σ_d Σ_{x<y} h_d[x] · h_d[y] · dist_d(x, y)
+/// ```
+///
+/// where `h_d` is the histogram of the set's coordinates along dimension
+/// `d` (same-coordinate pairs contribute zero and drop out). The histogram
+/// of a *consecutive-id run* `[s, s+k)` has a closed form per dimension —
+/// `#{ i < m : (i / stride_d) mod ext_d = x }` is piecewise linear in `m` —
+/// so a set of `r` maximal runs costs `O(r · Σ ext_d)` to histogram and
+/// `O(Σ ext_d²)` to combine, independent of the pair count. Hop totals
+/// accumulate exactly in `u64` (the dense walk's own accumulator width,
+/// with the same headroom: the total is bounded by `pairs · max hops`) and
+/// the final `total / pairs` division performs the same integer→`f64`
+/// conversions, so the result is bit-identical to
+/// [`mean_pairwise_hops_dense`](crate::placement::mean_pairwise_hops_dense).
+///
+/// Returns `None` when the ids are not strictly ascending or fall outside
+/// the topology — callers fall back to the dense walk (which preserves the
+/// historical duplicate handling and out-of-range panics).
+pub fn set_mean_hops(topo: &TofuD, nodes: &[NodeId]) -> Option<f64> {
+    let k = nodes.len();
+    if k < 2 {
+        return Some(0.0);
+    }
+    let n = topo.nodes();
+    let mut stride = [0usize; DIMS];
+    let mut s = 1usize;
+    for d in (0..DIMS).rev() {
+        stride[d] = s;
+        s *= topo.dims[d];
+    }
+    // One flat histogram buffer for all six dimensions: a single
+    // allocation per call, scored a million+ times per replay.
+    let mut offsets = [0usize; DIMS + 1];
+    for d in 0..DIMS {
+        offsets[d + 1] = offsets[d] + topo.dims[d];
+    }
+    let mut hist = vec![0u64; offsets[DIMS]];
+    let mut i = 0;
+    while i < k {
+        let start = nodes[i].index();
+        let mut j = i + 1;
+        while j < k && nodes[j].index() == nodes[j - 1].index() + 1 {
+            j += 1;
+        }
+        if j < k && nodes[j].index() <= nodes[j - 1].index() {
+            return None; // unsorted or duplicate ids: dense walk territory
+        }
+        let end = nodes[j - 1].index() + 1;
+        if end > n {
+            return None; // out of range: let the dense walk panic with context
+        }
+        for d in 0..DIMS {
+            run_coord_counts(
+                topo.dims[d],
+                stride[d],
+                start,
+                end,
+                &mut hist[offsets[d]..offsets[d + 1]],
+            );
+        }
+        i = j;
+    }
+    let mut total: u64 = 0;
+    for d in 0..DIMS {
+        let e = topo.dims[d];
+        let h = &hist[offsets[d]..offsets[d + 1]];
+        for x in 0..e {
+            if h[x] == 0 {
+                continue;
+            }
+            for y in (x + 1)..e {
+                if h[y] == 0 {
+                    continue;
+                }
+                let span = y - x;
+                let dist = if topo.periodic[d] {
+                    span.min(e - span)
+                } else {
+                    span
+                };
+                total += h[x] * h[y] * dist as u64;
+            }
+        }
+    }
+    let pairs = k as u64 * (k as u64 - 1) / 2;
+    Some(total as f64 / pairs as f64)
+}
+
+/// Add to `hist[x]` the number of ids `m ∈ [lo, hi)` whose coordinate in a
+/// dimension of extent `e` and stride `stride` equals `x`. The prefix count
+/// `f(m, x) = #{ i < m : (i / stride) mod e = x }` decomposes into whole
+/// `e·stride` cycles plus a partial cycle, giving an O(1) expression per
+/// coordinate value.
+fn run_coord_counts(e: usize, stride: usize, lo: usize, hi: usize, hist: &mut [u64]) {
+    // Whole `e·stride` cycles hit every coordinate `stride` times; the
+    // remainder is walked one coordinate segment at a time. A run shorter
+    // than the cycle touches only `len/stride + 2` coordinates, so short
+    // runs in outer (large-stride) dimensions cost O(1) instead of O(e) —
+    // the common case when scoring fragmented allocations.
+    let cycle = e * stride;
+    let cycles = (hi - lo) / cycle;
+    if cycles > 0 {
+        let per = (cycles * stride) as u64;
+        for slot in hist.iter_mut() {
+            *slot += per;
+        }
+    }
+    let mut m = lo + cycles * cycle;
+    while m < hi {
+        let q = m / stride;
+        let seg_end = ((q + 1) * stride).min(hi);
+        hist[q % e] += (seg_end - m) as u64;
+        m = seg_end;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +473,73 @@ mod tests {
     fn topology_impl_checks_bounds() {
         let f = FoldedTable::build(&TofuD::cte_arm());
         Topology::hops(&f, NodeId(0), NodeId(192));
+    }
+
+    #[test]
+    fn set_mean_hops_matches_dense_on_assorted_sets() {
+        use crate::placement::mean_pairwise_hops_dense;
+        let shapes = [
+            TofuD::cte_arm(),
+            TofuD::with_dims([3, 2, 2, 2, 3, 2], [true, false, true, false, true, false]),
+            TofuD::with_dims([5, 1, 3, 2, 3, 2], [true, true, true, false, true, false]),
+        ];
+        for t in &shapes {
+            let n = t.nodes();
+            let sets: Vec<Vec<NodeId>> = vec![
+                (0..n.min(24)).map(NodeId).collect(),    // one prefix run
+                (0..n).step_by(3).map(NodeId).collect(), // singleton runs
+                (0..n - 6).step_by(7).chain(n - 5..n).map(NodeId).collect(),
+                vec![NodeId(0), NodeId(n - 1)], // extremes
+                (n / 3..n / 3 + n.min(30) / 2).map(NodeId).collect(),
+            ];
+            for nodes in &sets {
+                let closed = set_mean_hops(t, nodes).expect("sorted set folds");
+                let dense = mean_pairwise_hops_dense(t, nodes);
+                assert_eq!(
+                    closed.to_bits(),
+                    dense.to_bits(),
+                    "shape {:?} set {:?}",
+                    t.dims,
+                    &nodes[..nodes.len().min(8)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_mean_hops_rejects_unfoldable_inputs() {
+        let t = TofuD::cte_arm();
+        assert!(
+            set_mean_hops(&t, &[NodeId(5), NodeId(2)]).is_none(),
+            "unsorted"
+        );
+        assert!(
+            set_mean_hops(&t, &[NodeId(2), NodeId(2)]).is_none(),
+            "duplicate"
+        );
+        assert!(
+            set_mean_hops(&t, &[NodeId(0), NodeId(500)]).is_none(),
+            "out of range"
+        );
+        assert_eq!(set_mean_hops(&t, &[NodeId(7)]), Some(0.0), "singleton");
+        assert_eq!(set_mean_hops(&t, &[]), Some(0.0), "empty");
+    }
+
+    #[test]
+    fn set_mean_hops_handles_fugaku_scale_sets() {
+        // A 64k-node prefix plus a scattered tail at the full-Fugaku shape:
+        // closed form answers in microseconds where the dense walk would
+        // route 2×10⁹ pairs.
+        let t = TofuD::with_dims(
+            [24, 23, 24, 2, 3, 2],
+            [true, true, true, false, true, false],
+        );
+        let nodes: Vec<NodeId> = (0..65_536)
+            .chain((100_000..t.nodes()).step_by(97))
+            .map(NodeId)
+            .collect();
+        let mean = set_mean_hops(&t, &nodes).expect("folds");
+        let diam = t.diameter() as f64;
+        assert!(mean > 0.0 && mean < diam, "mean {mean} within (0, {diam})");
     }
 }

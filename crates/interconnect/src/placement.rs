@@ -52,13 +52,28 @@ pub fn allocate<T: Topology>(
 /// Mean pairwise hop distance of an allocation — the quantity the
 /// topology-aware scheduler minimizes.
 ///
+/// Topologies with a closed form (TofuD's per-dimension histogram fold,
+/// see [`Topology::set_mean_hops`]) answer without touching the k² pairs;
+/// everything else takes the dense walk in
+/// [`mean_pairwise_hops_dense`]. Both paths produce bit-identical results
+/// at every thread count, so callers never observe which one ran.
+pub fn mean_pairwise_hops<T: Topology + Sync>(topo: &T, nodes: &[NodeId]) -> f64 {
+    if let Some(mean) = topo.set_mean_hops(nodes) {
+        return mean;
+    }
+    mean_pairwise_hops_dense(topo, nodes)
+}
+
+/// The dense all-pairs walk behind [`mean_pairwise_hops`] — the
+/// differential oracle for the closed forms.
+///
 /// The O(n²) pair scan fans out over the rayon pool, one outer node per
 /// task; hop counts accumulate in integers and the per-chunk partials are
 /// combined in chunk order, so the result is bit-identical to the
 /// sequential scan at every thread count. Score large sweeps against a
 /// [`crate::table::RoutingTable`] (itself a [`Topology`]) to make each
 /// `hops` query a flat lookup.
-pub fn mean_pairwise_hops<T: Topology + Sync>(topo: &T, nodes: &[NodeId]) -> f64 {
+pub fn mean_pairwise_hops_dense<T: Topology + Sync>(topo: &T, nodes: &[NodeId]) -> f64 {
     if nodes.len() < 2 {
         return 0.0;
     }

@@ -152,6 +152,12 @@ impl Topology for TofuD {
             .sum()
     }
 
+    /// Per-dimension histogram fold: mean pairwise hops of a sorted node
+    /// set without enumerating pairs (see [`crate::folded::set_mean_hops`]).
+    fn set_mean_hops(&self, nodes: &[NodeId]) -> Option<f64> {
+        crate::folded::set_mean_hops(self, nodes)
+    }
+
     /// Torus translation symmetry folds the pair table to one entry per
     /// coordinate-offset class — memory independent of the pair count, so
     /// full-Fugaku networks stay under 10 MB instead of ~100 GB dense.

@@ -51,6 +51,18 @@ pub trait Topology {
         d
     }
 
+    /// Mean pairwise hop distance of a node set in closed form, when the
+    /// topology can produce it without enumerating the k² pairs. `None`
+    /// (the default) sends callers down the dense pair scan in
+    /// [`mean_pairwise_hops`](crate::placement::mean_pairwise_hops);
+    /// topologies with per-dimension separable distances (TofuD) override
+    /// this with an exact histogram fold that is bit-identical to the
+    /// scan. Implementations may also return `None` for inputs they
+    /// cannot fold (unsorted or duplicated ids).
+    fn set_mean_hops(&self, _nodes: &[NodeId]) -> Option<f64> {
+        None
+    }
+
     /// Build the memoized pair table a `Network` consults on its fast
     /// path. Defaults to the dense all-pairs
     /// [`RoutingTable`](crate::table::RoutingTable); topologies with

@@ -1,8 +1,22 @@
 //! Node allocation over the torus.
+//!
+//! The production [`Allocator`] keeps the free pool as an incremental
+//! **run index**: boundary-tag arrays record each maximal eligible-id
+//! run's length at its first and last id (malloc-style, so coalescing on
+//! release is O(1) per stretch), an eligibility bitmap gives first-fit its
+//! id-order walk one 64-id word at a time, and a `(len, start)` set lets
+//! `BestFitContiguous` find the smallest fitting run in O(log n) instead
+//! of rescanning the id space. Free/failed populations are incremental
+//! counters (debug-asserted against the scan), so a full-Fugaku
+//! allocate/release cycle costs O(log n) where the original scan paid
+//! O(n). That original scan-based allocator is retained verbatim as
+//! [`crate::allocator_oracle::OracleAllocator`]; differential tests pin
+//! the two to *identical node picks* on every policy.
 
 use interconnect::placement::mean_pairwise_hops;
 use interconnect::topology::{NodeId, Topology};
 use simkit::rng::Pcg32;
+use std::collections::BTreeSet;
 
 /// How free nodes are chosen for a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +31,37 @@ pub enum AllocationPolicy {
     Random,
 }
 
+/// The allocator surface the [`crate::Scheduler`] drives — implemented by
+/// the run-indexed [`Allocator`] and by the retained scan-based
+/// [`crate::allocator_oracle::OracleAllocator`], so differential tests can
+/// replay one workload through both and demand identical picks and stats.
+pub trait NodePool {
+    /// The topology nodes are drawn from.
+    type Topo: Topology;
+
+    /// The topology.
+    fn topology(&self) -> &Self::Topo;
+
+    /// Nodes currently allocatable (free and not failed).
+    fn free_count(&self) -> usize;
+
+    /// Nodes still alive (not drained), allocated or free.
+    fn alive_count(&self) -> usize;
+
+    /// Drain a node after a hard failure. Returns `true` when the node was
+    /// allocated at the time (the scheduler must kill the holding job).
+    fn fail_node(&mut self, node: NodeId) -> bool;
+
+    /// Try to allocate `count` nodes; `None` if not enough are eligible.
+    fn allocate(&mut self, count: usize) -> Option<Vec<NodeId>>;
+
+    /// Return an allocation's nodes to the free pool.
+    fn release(&mut self, nodes: &[NodeId]);
+
+    /// Compactness of an allocation: mean pairwise hop distance.
+    fn compactness(&self, nodes: &[NodeId]) -> f64;
+}
+
 /// Tracks node occupancy and hands out allocations.
 pub struct Allocator<T: Topology> {
     topo: T,
@@ -27,18 +72,105 @@ pub struct Allocator<T: Topology> {
     failed: Vec<bool>,
     policy: AllocationPolicy,
     rng: Pcg32,
+    /// Eligibility bitmap: bit `i` set ⟺ `free[i] && !failed[i]`. Gives
+    /// first-fit and the random policy their ascending id walks 64 ids per
+    /// word, and locates the run containing an interior id without a
+    /// search tree.
+    words: Vec<u64>,
+    /// Boundary tag: `len_at_start[s]` is the length of the maximal
+    /// eligible run starting at `s`, 0 when `s` starts no run.
+    len_at_start: Vec<u32>,
+    /// Boundary tag: `len_at_end[e]` is the length of the maximal eligible
+    /// run whose *last* id is `e`, 0 otherwise. Lets release coalesce with
+    /// the left neighbour in O(1).
+    len_at_end: Vec<u32>,
+    /// The runs keyed `(len, start)`: best-fit takes the first entry
+    /// at or above the request, so ties on length resolve to the lowest
+    /// start — exactly the oracle's left-to-right scan order.
+    by_len: BTreeSet<(usize, usize)>,
+    /// Incremental |eligible|, kept in lock-step by allocate/release/fail.
+    eligible_count: usize,
+    /// Incremental |not failed|.
+    alive: usize,
 }
 
 impl<T: Topology> Allocator<T> {
     /// An empty cluster under a policy.
     pub fn new(topo: T, policy: AllocationPolicy, seed: u64) -> Self {
         let n = topo.nodes();
-        Self {
+        let mut words = vec![!0u64; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            *words.last_mut().expect("n >= 1") = (1u64 << (n % 64)) - 1;
+        }
+        let mut a = Self {
             topo,
             free: vec![true; n],
             failed: vec![false; n],
             policy,
             rng: Pcg32::seeded(seed),
+            words,
+            len_at_start: vec![0; n],
+            len_at_end: vec![0; n],
+            by_len: BTreeSet::new(),
+            eligible_count: n,
+            alive: n,
+        };
+        a.insert_run(0, n);
+        a
+    }
+
+    fn clear_bit(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Set every bit of `[start, end)` with word-wide masks.
+    fn set_bits(&mut self, start: usize, end: usize) {
+        let (ws, we) = (start / 64, (end - 1) / 64);
+        let lo = !0u64 << (start % 64);
+        let hi = !0u64 >> (63 - (end - 1) % 64);
+        if ws == we {
+            self.words[ws] |= lo & hi;
+        } else {
+            self.words[ws] |= lo;
+            for w in &mut self.words[ws + 1..we] {
+                *w = !0;
+            }
+            self.words[we] |= hi;
+        }
+    }
+
+    /// First set bit at or after `from`, which by the run invariant is
+    /// always a run *start* when `from` sits at or past the previous run's
+    /// end. `None` when no eligible id remains.
+    fn next_run_start(&self, from: usize) -> Option<usize> {
+        let mut w = from / 64;
+        if w >= self.words.len() {
+            return None;
+        }
+        let mut word = self.words[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            word = *self.words.get(w)?;
+        }
+    }
+
+    /// Start of the run containing eligible id `i`: one past the nearest
+    /// zero bit below `i`. O(gap/64) bitmap words, no search tree.
+    fn run_start_containing(&self, i: usize) -> usize {
+        let mut w = i / 64;
+        let mut inv = !self.words[w] & ((1u64 << (i % 64)) - 1);
+        loop {
+            if inv != 0 {
+                return w * 64 + 64 - inv.leading_zeros() as usize;
+            }
+            if w == 0 {
+                return 0;
+            }
+            w -= 1;
+            inv = !self.words[w];
         }
     }
 
@@ -47,9 +179,15 @@ impl<T: Topology> Allocator<T> {
         self.free[i] && !self.failed[i]
     }
 
-    /// Nodes currently allocatable (free and not failed).
+    /// Nodes currently allocatable (free and not failed). O(1): the count
+    /// is maintained incrementally and debug-asserted against the scan.
     pub fn free_count(&self) -> usize {
-        (0..self.free.len()).filter(|&i| self.eligible(i)).count()
+        debug_assert_eq!(
+            self.eligible_count,
+            (0..self.free.len()).filter(|&i| self.eligible(i)).count(),
+            "incremental eligible counter drifted from the scan"
+        );
+        self.eligible_count
     }
 
     /// Drain a node after a hard failure: it immediately stops being
@@ -58,7 +196,14 @@ impl<T: Topology> Allocator<T> {
     pub fn fail_node(&mut self, node: NodeId) -> bool {
         let i = node.index();
         assert!(i < self.failed.len(), "node out of range");
-        self.failed[i] = true;
+        if !self.failed[i] {
+            self.failed[i] = true;
+            self.alive -= 1;
+            if self.free[i] {
+                self.split_out_of_runs(i);
+                self.eligible_count -= 1;
+            }
+        }
         !self.free[i]
     }
 
@@ -67,9 +212,14 @@ impl<T: Topology> Allocator<T> {
         self.failed[node.index()]
     }
 
-    /// Nodes still alive (not drained), allocated or free.
+    /// Nodes still alive (not drained), allocated or free. O(1).
     pub fn alive_count(&self) -> usize {
-        self.failed.iter().filter(|&&f| !f).count()
+        debug_assert_eq!(
+            self.alive,
+            self.failed.iter().filter(|&&f| !f).count(),
+            "incremental alive counter drifted from the scan"
+        );
+        self.alive
     }
 
     /// The topology.
@@ -97,68 +247,103 @@ impl<T: Topology> Allocator<T> {
         for n in &picked {
             debug_assert!(self.free[n.index()], "double allocation");
             self.free[n.index()] = false;
+            self.clear_bit(n.index());
         }
+        self.eligible_count -= picked.len();
         Some(picked)
     }
 
     /// Return an allocation's nodes to the free pool.
     pub fn release(&mut self, nodes: &[NodeId]) {
-        for n in nodes {
-            assert!(!self.free[n.index()], "releasing a free node");
-            self.free[n.index()] = true;
+        // Allocations are runs of consecutive ids (or unions of them), so
+        // releasing node-by-node would churn the run index with one
+        // remove/insert pair per node — the dominant cost of million-job
+        // replays. Instead each maximal stretch of consecutive non-failed
+        // ids re-enters the index as a single coalesced insertion; the
+        // resulting runs are identical because the interior of a stretch
+        // cannot border any existing run (those ids were allocated).
+        let mut k = 0;
+        while k < nodes.len() {
+            let i = nodes[k].index();
+            assert!(!self.free[i], "releasing a free node");
+            self.free[i] = true;
+            k += 1;
+            if self.failed[i] {
+                continue;
+            }
+            let start = i;
+            let mut end = i + 1;
+            while k < nodes.len() && nodes[k].index() == end && !self.failed[end] {
+                assert!(!self.free[end], "releasing a free node");
+                self.free[end] = true;
+                end += 1;
+                k += 1;
+            }
+            self.set_bits(start, end);
+            self.coalesce_stretch(start, end);
+            self.eligible_count += end - start;
         }
     }
 
-    fn first_fit(&self, count: usize) -> Vec<NodeId> {
-        (0..self.free.len())
-            .filter(|&i| self.eligible(i))
-            .take(count)
-            .map(NodeId)
-            .collect()
+    /// First eligible ids in ascending order, consumed off the front of
+    /// each run. Walks run starts through the bitmap, so each consumed run
+    /// costs one word-scan hop plus its index updates.
+    fn first_fit(&mut self, count: usize) -> Vec<NodeId> {
+        let mut picked = Vec::with_capacity(count);
+        let mut need = count;
+        let mut cursor = 0usize;
+        while need > 0 {
+            let start = self
+                .next_run_start(cursor)
+                .expect("free_count admitted an unfillable request");
+            let len = self.len_at_start[start] as usize;
+            debug_assert!(len > 0, "bitmap walk landed off a run boundary");
+            let take = need.min(len);
+            picked.extend((start..start + take).map(NodeId));
+            self.remove_run(start, len);
+            self.insert_run(start + take, len - take);
+            need -= take;
+            cursor = start + len;
+        }
+        picked
     }
 
     /// Smallest free *run* of consecutive ids that fits; falls back to
-    /// first-fit when no single run is large enough.
-    fn best_fit(&self, count: usize) -> Vec<NodeId> {
-        let n = self.free.len();
-        let mut best: Option<(usize, usize)> = None; // (start, len)
-        let mut i = 0;
-        while i < n {
-            if self.eligible(i) {
-                let start = i;
-                while i < n && self.eligible(i) {
-                    i += 1;
-                }
-                let len = i - start;
-                if len >= count {
-                    let better = match best {
-                        None => true,
-                        Some((_, blen)) => len < blen,
-                    };
-                    if better {
-                        best = Some((start, len));
-                    }
-                }
-            } else {
-                i += 1;
-            }
-        }
-        match best {
-            Some((start, _)) => (start..start + count).map(NodeId).collect(),
-            None => self.first_fit(count),
-        }
+    /// first-fit when no single run is large enough. O(log n) via the
+    /// `(len, start)` index.
+    fn best_fit(&mut self, count: usize) -> Vec<NodeId> {
+        let Some(&(len, start)) = self.by_len.range((count, 0)..).next() else {
+            return self.first_fit(count);
+        };
+        self.remove_run(start, len);
+        self.insert_run(start + count, len - count);
+        (start..start + count).map(NodeId).collect()
     }
 
+    /// Uniformly random eligible nodes. Materializes the same ascending
+    /// eligible list and runs the same Fisher–Yates draws as the oracle,
+    /// so both the picks and the RNG stream stay stream-identical.
     fn random_fit(&mut self, count: usize) -> Vec<NodeId> {
-        let mut free: Vec<usize> = (0..self.free.len()).filter(|&i| self.eligible(i)).collect();
+        let mut free: Vec<usize> = Vec::with_capacity(self.eligible_count);
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                free.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
         self.rng.shuffle(&mut free);
         let mut picked: Vec<usize> = free.into_iter().take(count).collect();
         picked.sort_unstable();
+        for &i in &picked {
+            self.split_out_of_runs(i);
+        }
         picked.into_iter().map(NodeId).collect()
     }
 
     /// Compactness of an allocation: mean pairwise hop distance.
-    /// (`Sync` because the pair scan fans out over the rayon pool.)
+    /// (`Sync` because the dense-walk fallback fans out over the rayon
+    /// pool; TofuD answers through the closed-form histogram fold.)
     pub fn compactness(&self, nodes: &[NodeId]) -> f64
     where
         T: Sync,
@@ -167,23 +352,103 @@ impl<T: Topology> Allocator<T> {
     }
 
     /// Fragmentation of the free pool: 1 − (largest free run / free count).
-    /// 0 when all free nodes are one run; → 1 when fully scattered.
+    /// 0 when all free nodes are one run; → 1 when fully scattered. O(1)
+    /// from the run index.
     pub fn fragmentation(&self) -> f64 {
-        let free_total = self.free_count();
-        if free_total == 0 {
+        if self.eligible_count == 0 {
             return 0.0;
         }
-        let mut largest = 0usize;
-        let mut run = 0usize;
-        for i in 0..self.free.len() {
-            if self.eligible(i) {
-                run += 1;
-                largest = largest.max(run);
-            } else {
-                run = 0;
+        let largest = self.by_len.iter().next_back().map_or(0, |&(len, _)| len);
+        1.0 - largest as f64 / self.eligible_count as f64
+    }
+
+    fn insert_run(&mut self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        debug_assert_eq!(self.len_at_start[start], 0, "overlapping runs");
+        debug_assert_eq!(self.len_at_end[start + len - 1], 0, "overlapping runs");
+        self.len_at_start[start] = len as u32;
+        self.len_at_end[start + len - 1] = len as u32;
+        self.by_len.insert((len, start));
+    }
+
+    fn remove_run(&mut self, start: usize, len: usize) {
+        debug_assert_eq!(
+            self.len_at_start[start] as usize, len,
+            "run index out of sync"
+        );
+        self.len_at_start[start] = 0;
+        self.len_at_end[start + len - 1] = 0;
+        let was_present = self.by_len.remove(&(len, start));
+        debug_assert!(was_present, "length index out of sync");
+    }
+
+    /// Remove a single (eligible) node from the run containing it,
+    /// splitting the run in two. Clears the node's bitmap bit, so repeated
+    /// splits (the random policy, failure drains) stay consistent.
+    fn split_out_of_runs(&mut self, i: usize) {
+        let start = self.run_start_containing(i);
+        let len = self.len_at_start[start] as usize;
+        debug_assert!(len > 0 && i < start + len, "node missing from its run");
+        self.remove_run(start, len);
+        self.insert_run(start, i - start);
+        self.insert_run(i + 1, start + len - i - 1);
+        self.clear_bit(i);
+    }
+
+    /// Add the stretch `[start, end)` back, coalescing with the runs
+    /// bordering it on either side — O(1) via the boundary tags.
+    fn coalesce_stretch(&mut self, mut start: usize, end: usize) {
+        let mut len = end - start;
+        if start > 0 {
+            let l = self.len_at_end[start - 1] as usize;
+            if l > 0 {
+                self.remove_run(start - l, l);
+                start -= l;
+                len += l;
             }
         }
-        1.0 - largest as f64 / free_total as f64
+        if end < self.len_at_start.len() {
+            let r = self.len_at_start[end] as usize;
+            if r > 0 {
+                self.remove_run(end, r);
+                len += r;
+            }
+        }
+        self.insert_run(start, len);
+    }
+}
+
+impl<T: Topology + Sync> NodePool for Allocator<T> {
+    type Topo = T;
+
+    fn topology(&self) -> &T {
+        Allocator::topology(self)
+    }
+
+    fn free_count(&self) -> usize {
+        Allocator::free_count(self)
+    }
+
+    fn alive_count(&self) -> usize {
+        Allocator::alive_count(self)
+    }
+
+    fn fail_node(&mut self, node: NodeId) -> bool {
+        Allocator::fail_node(self, node)
+    }
+
+    fn allocate(&mut self, count: usize) -> Option<Vec<NodeId>> {
+        Allocator::allocate(self, count)
+    }
+
+    fn release(&mut self, nodes: &[NodeId]) {
+        Allocator::release(self, nodes)
+    }
+
+    fn compactness(&self, nodes: &[NodeId]) -> f64 {
+        Allocator::compactness(self, nodes)
     }
 }
 
@@ -245,6 +510,33 @@ mod tests {
     }
 
     #[test]
+    fn best_fit_breaks_length_ties_towards_low_ids() {
+        let mut a = alloc(AllocationPolicy::BestFitContiguous);
+        let all = a.allocate(192).unwrap();
+        // Two equal 8-node holes at 40 and 120: the lower one must win,
+        // like the oracle's left-to-right scan.
+        a.release(&all[40..48]);
+        a.release(&all[120..128]);
+        let got = a.allocate(8).unwrap();
+        assert_eq!(got[0], NodeId(40), "tie resolves to the lowest start");
+    }
+
+    #[test]
+    fn release_coalesces_adjacent_runs() {
+        let mut a = alloc(AllocationPolicy::BestFitContiguous);
+        let all = a.allocate(192).unwrap();
+        // Release three touching fragments out of order; they must fuse
+        // into one 30-node run a single 30-node job can take.
+        a.release(&all[10..20]);
+        a.release(&all[30..40]);
+        a.release(&all[20..30]);
+        assert_eq!(a.free_count(), 30);
+        assert_eq!(a.fragmentation(), 0.0, "one fused run");
+        let got = a.allocate(30).unwrap();
+        assert_eq!(got, (10..40).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn contiguous_beats_random_on_compactness() {
         let mut c = alloc(AllocationPolicy::BestFitContiguous);
         let mut r = alloc(AllocationPolicy::Random);
@@ -291,6 +583,15 @@ mod tests {
         assert!(a.fail_node(nodes[2]), "node was allocated: job must die");
         // The release path still works once, and the node stays drained.
         a.release(&nodes);
+        assert_eq!(a.free_count(), 191);
+        assert_eq!(a.alive_count(), 191);
+    }
+
+    #[test]
+    fn double_fail_keeps_counters_stable() {
+        let mut a = alloc(AllocationPolicy::FirstFit);
+        assert!(!a.fail_node(NodeId(9)));
+        assert!(!a.fail_node(NodeId(9)), "idempotent drain");
         assert_eq!(a.free_count(), 191);
         assert_eq!(a.alive_count(), 191);
     }

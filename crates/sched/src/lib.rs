@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod allocator;
+pub mod allocator_oracle;
 pub mod queue;
 pub mod workload;
 
-pub use allocator::{AllocationPolicy, Allocator};
+pub use allocator::{AllocationPolicy, Allocator, NodePool};
+pub use allocator_oracle::OracleAllocator;
 pub use queue::{JobRequest, JobState, NodeFailure, Scheduler, SchedulerStats};
-pub use workload::WorkloadSpec;
+pub use workload::{ReplaySpec, WorkloadSpec};

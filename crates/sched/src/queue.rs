@@ -1,6 +1,15 @@
-//! The job queue: FCFS with EASY backfill over an [`crate::Allocator`].
+//! The job queue: FCFS with EASY backfill over a [`NodePool`] allocator.
+//!
+//! Requests are sorted by the explicit key `(submit, id)` (total order by
+//! construction, not sort stability), so a job's FCFS priority *is* its
+//! index in the sorted vector. The waiting set exploits that: a min-`want`
+//! segment tree over job indices finds the leftmost waiting job that fits
+//! the free pool in O(log m), replacing the per-event rescan of a `Vec` —
+//! at million-job replay scale the old scan was quadratic in the queue
+//! depth. Dispatch order, billing order, and event order are unchanged, so
+//! results are byte-identical to the historical implementation.
 
-use crate::allocator::Allocator;
+use crate::allocator::NodePool;
 use interconnect::topology::{NodeId, Topology};
 use simkit::event::EventQueue;
 use simkit::units::Time;
@@ -38,7 +47,8 @@ pub struct JobState {
     pub start: Option<Time>,
     /// End time, once finished.
     pub end: Option<Time>,
-    /// The allocation, while running/after completion.
+    /// The allocation, while running/after completion (cleared at finish
+    /// when [`Scheduler::retain_allocations`] is disabled).
     pub allocation: Vec<NodeId>,
     /// Mean pairwise hops of the allocation (compactness at start).
     pub compactness: f64,
@@ -84,22 +94,138 @@ enum Event {
     Fail(NodeId),
 }
 
-/// A FCFS + EASY-backfill scheduler over an allocator.
-pub struct Scheduler<T: Topology> {
-    allocator: Allocator<T>,
-    jobs: Vec<JobState>,
-    backfill: bool,
+/// The waiting set: a 64-ary min tree over the node count each waiting
+/// job wants (`u32::MAX` when the job is not waiting), indexed by FCFS
+/// position. Level 0 holds one leaf per job; each level above holds the
+/// min of 64-entry blocks of the level below, so a million-job replay
+/// needs only four levels of `u32` (~5 MB) and every update or query
+/// touches a handful of contiguous cache lines instead of ~21 scattered
+/// pointer hops through a 32 MB binary tree. `first_fitting(cap)`
+/// descends towards the leftmost leaf ≤ `cap` — the backfill query — and
+/// the FCFS head is the same query with an unbounded cap.
+struct WaitIndex {
+    levels: Vec<Vec<u32>>,
+    len: usize,
 }
 
-impl<T: Topology + Sync> Scheduler<T> {
+const WAIT_FANOUT: usize = 64;
+
+impl WaitIndex {
+    fn new(jobs: usize) -> Self {
+        let mut levels = vec![vec![u32::MAX; jobs.max(1)]];
+        while levels.last().unwrap().len() > WAIT_FANOUT {
+            let below = levels.last().unwrap().len();
+            levels.push(vec![u32::MAX; below.div_ceil(WAIT_FANOUT)]);
+        }
+        Self { levels, len: 0 }
+    }
+
+    fn set(&mut self, idx: usize, value: u32) {
+        self.levels[0][idx] = value;
+        let mut block = idx / WAIT_FANOUT;
+        for level in 1..self.levels.len() {
+            let lo = block * WAIT_FANOUT;
+            let hi = (lo + WAIT_FANOUT).min(self.levels[level - 1].len());
+            let min = *self.levels[level - 1][lo..hi].iter().min().unwrap();
+            if self.levels[level][block] == min {
+                return;
+            }
+            self.levels[level][block] = min;
+            block /= WAIT_FANOUT;
+        }
+    }
+
+    fn insert(&mut self, idx: usize, want: usize) {
+        debug_assert!(
+            want < u32::MAX as usize,
+            "want overflows the empty sentinel"
+        );
+        debug_assert_eq!(self.levels[0][idx], u32::MAX, "double insert");
+        self.set(idx, want as u32);
+        self.len += 1;
+    }
+
+    fn remove(&mut self, idx: usize) {
+        debug_assert_ne!(self.levels[0][idx], u32::MAX, "not waiting");
+        self.set(idx, u32::MAX);
+        self.len -= 1;
+    }
+
+    /// Leftmost waiting job whose request fits under `cap`, if any.
+    fn first_fitting(&self, cap: usize) -> Option<usize> {
+        let cap = cap.min(u32::MAX as usize - 1) as u32;
+        let top = self.levels.len() - 1;
+        let mut idx = self.levels[top].iter().position(|&v| v <= cap)?;
+        for level in (0..top).rev() {
+            let lo = idx * WAIT_FANOUT;
+            let hi = (lo + WAIT_FANOUT).min(self.levels[level].len());
+            let off = self.levels[level][lo..hi]
+                .iter()
+                .position(|&v| v <= cap)
+                .expect("parent min admitted this block");
+            idx = lo + off;
+        }
+        Some(idx)
+    }
+
+    /// The FCFS head: leftmost waiting job of any size.
+    fn head(&self) -> Option<usize> {
+        self.first_fitting(usize::MAX - 1)
+    }
+
+    /// All waiting jobs in FCFS order; blocks whose min is the empty
+    /// sentinel are skipped whole, so the walk costs O(m / 64 + found).
+    fn waiting(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len);
+        let top = self.levels.len() - 1;
+        self.collect(top, 0, self.levels[top].len(), &mut out);
+        out
+    }
+
+    fn collect(&self, level: usize, lo: usize, hi: usize, out: &mut Vec<usize>) {
+        for (off, &v) in self.levels[level][lo..hi].iter().enumerate() {
+            if v == u32::MAX {
+                continue;
+            }
+            let idx = lo + off;
+            if level == 0 {
+                out.push(idx);
+            } else {
+                let lo2 = idx * WAIT_FANOUT;
+                let hi2 = (lo2 + WAIT_FANOUT).min(self.levels[level - 1].len());
+                self.collect(level - 1, lo2, hi2, out);
+            }
+        }
+    }
+}
+
+/// A FCFS + EASY-backfill scheduler over an allocator.
+pub struct Scheduler<A: NodePool> {
+    allocator: A,
+    jobs: Vec<JobState>,
+    backfill: bool,
+    retain_allocations: bool,
+}
+
+impl<A: NodePool> Scheduler<A> {
     /// Wrap an allocator. `backfill` enables EASY backfill (jobs behind
     /// the queue head may start if they fit right now).
-    pub fn new(allocator: Allocator<T>, backfill: bool) -> Self {
+    pub fn new(allocator: A, backfill: bool) -> Self {
         Self {
             allocator,
             jobs: Vec::new(),
             backfill,
+            retain_allocations: true,
         }
+    }
+
+    /// Whether finished jobs keep their node lists in [`JobState`]
+    /// (default `true`). Million-job replays disable this: the per-job
+    /// `Vec<NodeId>` is the dominant memory term at full-Fugaku scale, and
+    /// the aggregate stats never read it after release.
+    pub fn retain_allocations(mut self, keep: bool) -> Self {
+        self.retain_allocations = keep;
+        self
     }
 
     /// Run a workload to completion and return per-job states + stats.
@@ -139,7 +265,14 @@ impl<T: Topology + Sync> Scheduler<T> {
         for f in &failures {
             assert!(f.node.index() < cluster, "failure names an unknown node");
         }
-        requests.sort_by(|a, b| a.submit.partial_cmp(&b.submit).expect("finite times"));
+        // Explicit (submit, id) key under `total_cmp`: tie order is pinned
+        // by construction, not by sort stability or input order.
+        requests.sort_by(|a, b| {
+            a.submit
+                .value()
+                .total_cmp(&b.submit.value())
+                .then(a.id.cmp(&b.id))
+        });
         self.jobs = requests
             .iter()
             .map(|r| JobState {
@@ -153,7 +286,10 @@ impl<T: Topology + Sync> Scheduler<T> {
             })
             .collect();
 
-        let mut queue: Vec<usize> = Vec::new(); // waiting, FCFS order
+        // Sorted by (submit, id), a job's FCFS priority is its index:
+        // requeues keep original submit order, so the waiting set never
+        // needs more than the index to order itself.
+        let mut waiting = WaitIndex::new(requests.len());
         let mut epochs: Vec<u64> = vec![0; requests.len()];
         let mut events: EventQueue<Event> = EventQueue::new();
         for (idx, r) in requests.iter().enumerate() {
@@ -174,7 +310,7 @@ impl<T: Topology + Sync> Scheduler<T> {
                         self.jobs[idx].abandoned = true;
                         abandoned += 1;
                     } else {
-                        queue.push(idx);
+                        waiting.insert(idx, self.jobs[idx].request.nodes);
                     }
                 }
                 Event::Finish(idx, epoch) => {
@@ -185,7 +321,9 @@ impl<T: Topology + Sync> Scheduler<T> {
                     let alloc = std::mem::take(&mut self.jobs[idx].allocation);
                     busy_node_time += alloc.len() as f64 * self.jobs[idx].request.duration.value();
                     self.allocator.release(&alloc);
-                    self.jobs[idx].allocation = alloc;
+                    if self.retain_allocations {
+                        self.jobs[idx].allocation = alloc;
+                    }
                     self.jobs[idx].end = Some(now);
                 }
                 Event::Fail(node) => {
@@ -201,7 +339,7 @@ impl<T: Topology + Sync> Scheduler<T> {
                             .expect("an allocated node belongs to a running job");
                         // Kill: bill the partial work, free the nodes,
                         // invalidate the pending Finish, requeue in FCFS
-                        // order by original submission.
+                        // order by original submission (= index order).
                         let alloc = std::mem::take(&mut self.jobs[idx].allocation);
                         let started = self.jobs[idx].start.take().expect("running job");
                         busy_node_time += alloc.len() as f64 * (now - started).value();
@@ -210,48 +348,46 @@ impl<T: Topology + Sync> Scheduler<T> {
                         self.jobs[idx].compactness = 0.0;
                         self.jobs[idx].requeues += 1;
                         requeued += 1;
-                        let key = (self.jobs[idx].request.submit.value(), idx);
-                        let pos = queue
-                            .iter()
-                            .position(|&q| (self.jobs[q].request.submit.value(), q) > key)
-                            .unwrap_or(queue.len());
-                        queue.insert(pos, idx);
+                        waiting.insert(idx, self.jobs[idx].request.nodes);
                     }
                     // Drop queued jobs the shrunken cluster can never hold.
                     let alive = self.allocator.alive_count();
-                    let jobs = &mut self.jobs;
-                    queue.retain(|&q| {
-                        if jobs[q].request.nodes <= alive {
-                            true
-                        } else {
-                            jobs[q].abandoned = true;
+                    for idx in waiting.waiting() {
+                        if self.jobs[idx].request.nodes > alive {
+                            waiting.remove(idx);
+                            self.jobs[idx].abandoned = true;
                             abandoned += 1;
-                            false
                         }
-                    });
+                    }
                 }
             }
             // Dispatch: FCFS head first; optionally backfill the rest.
-            let mut i = 0;
-            while i < queue.len() {
-                let idx = queue[i];
-                let want = self.jobs[idx].request.nodes;
-                if let Some(nodes) = self.allocator.allocate(want) {
-                    self.jobs[idx].compactness = self.allocator.compactness(&nodes);
-                    self.jobs[idx].start = Some(now);
-                    events.schedule_at(
-                        now + self.jobs[idx].request.duration,
-                        Event::Finish(idx, epochs[idx]),
-                    );
-                    self.jobs[idx].allocation = nodes;
-                    queue.remove(i);
-                    // After starting the head, restart the scan.
-                    i = 0;
-                } else if self.backfill {
-                    i += 1; // try the next job in the queue
+            // `allocate(want)` succeeds exactly when `want ≤ free_count()`
+            // under every policy, so the tree query pre-answers it.
+            loop {
+                let cap = self.allocator.free_count();
+                let next = if self.backfill {
+                    waiting.first_fitting(cap)
                 } else {
-                    break; // strict FCFS: blocked head blocks everyone
-                }
+                    // Strict FCFS: a blocked head blocks everyone.
+                    waiting
+                        .head()
+                        .filter(|&h| self.jobs[h].request.nodes <= cap)
+                };
+                let Some(idx) = next else { break };
+                let want = self.jobs[idx].request.nodes;
+                let nodes = self
+                    .allocator
+                    .allocate(want)
+                    .expect("the waiting index admitted a job that fits");
+                self.jobs[idx].compactness = self.allocator.compactness(&nodes);
+                self.jobs[idx].start = Some(now);
+                events.schedule_at(
+                    now + self.jobs[idx].request.duration,
+                    Event::Finish(idx, epochs[idx]),
+                );
+                self.jobs[idx].allocation = nodes;
+                waiting.remove(idx);
             }
         }
 
@@ -293,10 +429,10 @@ impl<T: Topology + Sync> Scheduler<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::allocator::AllocationPolicy;
+    use crate::allocator::{AllocationPolicy, Allocator};
     use interconnect::tofu::TofuD;
 
-    fn scheduler(policy: AllocationPolicy, backfill: bool) -> Scheduler<TofuD> {
+    fn scheduler(policy: AllocationPolicy, backfill: bool) -> Scheduler<Allocator<TofuD>> {
         Scheduler::new(Allocator::new(TofuD::cte_arm(), policy, 7), backfill)
     }
 
@@ -326,6 +462,19 @@ mod tests {
         // Job 1 must wait for the full-machine job.
         assert_eq!(jobs[1].start, Some(Time::seconds(10.0)));
         assert_eq!(jobs[1].wait(), Some(Time::seconds(9.0)));
+    }
+
+    #[test]
+    fn equal_submit_times_order_by_id_not_input_order() {
+        // Two simultaneous submissions arriving in descending-id order:
+        // the sort key pins id 2 as the FCFS head, so it runs first and
+        // the id-5 hog waits — regardless of input order or sort stability.
+        let (jobs, _) = scheduler(AllocationPolicy::FirstFit, false)
+            .run(vec![job(5, 192, 10.0, 0.0), job(2, 10, 5.0, 0.0)]);
+        assert_eq!(jobs[0].request.id, 2, "sorted output orders ties by id");
+        assert_eq!(jobs[0].start, Some(Time::ZERO));
+        assert_eq!(jobs[1].request.id, 5);
+        assert_eq!(jobs[1].start, Some(Time::seconds(5.0)), "hog waits");
     }
 
     #[test]
@@ -391,6 +540,26 @@ mod tests {
         assert!(jobs.iter().all(|j| j.end.is_some()), "everything completes");
         assert!(stats.utilization > 0.0 && stats.utilization <= 1.0);
         assert!(stats.makespan > Time::ZERO);
+    }
+
+    #[test]
+    fn dropping_allocations_changes_no_stats() {
+        let workload: Vec<JobRequest> = (0..30)
+            .map(|i| job(i, 20 + (i % 4) * 30, 3.0, (i / 3) as f64))
+            .collect();
+        let (kept, ks) = scheduler(AllocationPolicy::BestFitContiguous, true).run(workload.clone());
+        let (dropped, ds) = scheduler(AllocationPolicy::BestFitContiguous, true)
+            .retain_allocations(false)
+            .run(workload);
+        assert_eq!(ks.makespan, ds.makespan);
+        assert_eq!(ks.utilization.to_bits(), ds.utilization.to_bits());
+        assert_eq!(ks.mean_compactness.to_bits(), ds.mean_compactness.to_bits());
+        for (k, d) in kept.iter().zip(&dropped) {
+            assert_eq!(k.start, d.start);
+            assert_eq!(k.end, d.end);
+            assert!(!k.allocation.is_empty(), "default keeps the node list");
+            assert!(d.allocation.is_empty(), "opt-out clears it at finish");
+        }
     }
 
     #[test]
